@@ -1,0 +1,438 @@
+(* Benchmark and reproduction harness.
+
+   Part 1 regenerates every table/figure of the paper's evaluation:
+   - Figures 3-10 (phase summaries: measured vs weighted max-min,
+     Jain index, drops, convergence) — the rows behind each plot;
+   - the Section 4.1 expected-rate table;
+   - the Section 4.4 sensitivity sweeps and the ablations from
+     DESIGN.md.
+
+   Part 2 is a Bechamel microbenchmark suite over the simulator's hot
+   paths plus one end-to-end test per scheme (cost of one simulated
+   second of a figure workload). *)
+
+open Bechamel
+open Bechamel.Toolkit
+
+let hr title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: paper reproduction *)
+
+let reproduce_figures () =
+  hr "Figures 3-10: measured vs weighted max-min reference";
+  List.iter
+    (fun spec ->
+      let result = Workload.Figures.run spec in
+      let summary = Workload.Figures.summarize spec result in
+      Workload.Figures.pp_summary Format.std_formatter summary)
+    (Workload.Figures.all ())
+
+let reproduce_expected_rate_table () =
+  hr "Section 4.1 expected-rate table (paper's hand calculation)";
+  let engine = Sim.Engine.create () in
+  let network =
+    Workload.Network.topology1 ~engine ~weights:Workload.Figures.weights_s41 ()
+  in
+  let all = List.init 20 (fun i -> i + 1) in
+  let absent = [ 1; 9; 10; 11; 16 ] in
+  let fifteen = List.filter (fun i -> not (List.mem i absent)) all in
+  let show label active =
+    let rates = Workload.Network.expected_rates network ~active in
+    let by_weight = Hashtbl.create 4 in
+    List.iter
+      (fun id ->
+        let w = Workload.Figures.weights_s41 id in
+        Hashtbl.replace by_weight w (List.assoc id rates))
+      active;
+    Printf.printf "%-28s" label;
+    List.iter
+      (fun w ->
+        match Hashtbl.find_opt by_weight w with
+        | Some r -> Printf.printf "  w=%.0f: %6.2f" w r
+        | None -> ())
+      [ 1.; 2.; 3. ];
+    print_newline ()
+  in
+  Printf.printf "(rates in pkt/s; paper: 33.33 and 25 per unit weight)\n";
+  show "15 flows (t in [0,250))" fifteen;
+  show "20 flows (t in [250,500))" all
+
+let reproduce_tcp_extension () =
+  hr "Extension: TCP micro-flows in shaped aggregates (Section 4.4 ongoing work)";
+  let engine = Sim.Engine.create () in
+  let network =
+    Workload.Network.single_bottleneck ~engine ~weights:(fun i -> float_of_int i) 2
+  in
+  let tcp = Workload.Tcp_workload.build ~network ~micro_flows:(fun _ -> 3) () in
+  Workload.Tcp_workload.start tcp;
+  let snapshot = Hashtbl.create 8 in
+  ignore
+    (Sim.Engine.schedule_at engine ~time:300. (fun () ->
+         List.iter
+           (fun (flow, g) -> Hashtbl.replace snapshot flow g)
+           (Workload.Tcp_workload.aggregate_goodputs tcp)));
+  Sim.Engine.run_until engine 400.;
+  Workload.Tcp_workload.stop tcp;
+  let reference = Workload.Network.expected_rates network ~active:[ 1; 2 ] in
+  Printf.printf "aggregate  weight  steady goodput  corelite share\n";
+  List.iter
+    (fun (flow, total) ->
+      let before = Option.value ~default:0 (Hashtbl.find_opt snapshot flow) in
+      Printf.printf "%9d  %6.0f  %14.1f  %14.1f\n" flow
+        (Workload.Network.flow network flow).Net.Flow.weight
+        (float_of_int (total - before) /. 100.)
+        (List.assoc flow reference))
+    (Workload.Tcp_workload.aggregate_goodputs tcp);
+  Printf.printf "TCP retransmits: %d  edge drops: %d\n"
+    (Workload.Tcp_workload.total_retransmits tcp)
+    (Workload.Tcp_workload.total_edge_drops tcp)
+
+let reproduce_analysis () =
+  hr "Analysis vs simulation (fluid ODE model vs packet-level run vs max-min)";
+  (* Three flows, weights 1:2:3, one 500 pkt/s bottleneck. *)
+  let capacities = [ (0, 500.) ] in
+  let fluid_flows =
+    List.map
+      (fun i -> { Fairness.Fluid.id = i; weight = float_of_int i; links = [ 0 ] })
+      [ 1; 2; 3 ]
+  in
+  let fluid =
+    Fairness.Fluid.simulate ~capacities ~flows:fluid_flows ~duration:400. ()
+  in
+  let engine = Sim.Engine.create () in
+  let network =
+    Workload.Network.single_bottleneck ~engine ~weights:(fun i -> float_of_int i) 3
+  in
+  let packet =
+    Workload.Runner.run ~scheme:(Workload.Runner.Corelite Corelite.Params.default)
+      ~network
+      ~schedule:(List.init 3 (fun i -> (0., Workload.Runner.Start (i + 1))))
+      ~duration:400. ()
+  in
+  let reference =
+    Fairness.Maxmin.solve ~capacities
+      ~demands:
+        (List.map
+           (fun i ->
+             Fairness.Maxmin.demand ~flow:i ~weight:(float_of_int i) ~links:[ 0 ] ())
+           [ 1; 2; 3 ])
+  in
+  Printf.printf "flow  weight  fluid model  packet sim  max-min\n";
+  List.iter
+    (fun i ->
+      Printf.printf "%4d  %6d  %11.1f  %10.1f  %7.1f\n" i i
+        (List.assoc i fluid.Fairness.Fluid.final)
+        (Workload.Runner.mean_rate packet ~flow:i ~from:350. ~until:400.)
+        (List.assoc i reference))
+    [ 1; 2; 3 ]
+
+let reproduce_policing () =
+  hr "Policing an unresponsive flow (firehose 450 pkt/s + 2 adaptive, fair share 166.7)";
+  let run label scheme ~core_qdisc ~corelite_markers =
+    let engine = Sim.Engine.create () in
+    let core_qdisc = Option.map (fun f -> f engine) core_qdisc in
+    let network =
+      Workload.Network.single_bottleneck ~engine ?core_qdisc ~weights:(fun _ -> 1.) 3
+    in
+    let blaster =
+      Workload.Blaster.attach ~network ~flow:1 ~rate:450. ~corelite_markers ()
+    in
+    let result =
+      Workload.Runner.run ~scheme ~network
+        ~schedule:[ (0., Workload.Runner.Start 2); (0., Workload.Runner.Start 3) ]
+        ~duration:120. ()
+    in
+    let goodput flow =
+      Option.value ~default:0.
+        (Sim.Timeseries.window_mean
+           (List.assoc flow result.Workload.Runner.goodput_series)
+           ~from:90. ~until:120.)
+    in
+    Printf.printf
+      "%-16s firehose %.0f pkt/s (%.0f%% survives)  adaptive %.0f / %.0f pkt/s\n"
+      label
+      (float_of_int (Workload.Blaster.delivered blaster) /. 120.)
+      (100. *. Workload.Blaster.survival blaster)
+      (goodput 2) (goodput 3)
+  in
+  run "csfq" (Workload.Runner.Csfq Csfq.Params.default) ~core_qdisc:None
+    ~corelite_markers:false;
+  run "corelite" (Workload.Runner.Corelite Corelite.Params.default) ~core_qdisc:None
+    ~corelite_markers:true;
+  run "plain+droptail" (Workload.Runner.Plain Csfq.Params.default) ~core_qdisc:None
+    ~corelite_markers:false;
+  run "plain+drr"
+    (Workload.Runner.Plain Csfq.Params.default)
+    ~core_qdisc:
+      (Some
+         (fun _engine () -> Net.Qdisc.drr ~weight:(fun _ -> 1.) ~capacity:20 ()))
+    ~corelite_markers:false
+
+let run_csfq_smoothed () =
+  (* Same, with the fair-share estimation window widened to the RTT
+     scale so TCP bursts do not read as persistent congestion. *)
+  let engine = Sim.Engine.create () in
+  let network =
+    Workload.Network.single_bottleneck ~engine ~weights:(fun i -> float_of_int i) 3
+  in
+  let csfq_params = { Csfq.Params.default with Csfq.Params.k_link = 0.5 } in
+  let tcp = Workload.Tcp_direct.build ~csfq_params ~attach_csfq:true ~network () in
+  Workload.Tcp_direct.start tcp;
+  Sim.Engine.run_until engine 300.;
+  Workload.Tcp_direct.stop tcp;
+  Printf.printf "%-16s goodput" "csfq k=500ms";
+  List.iter
+    (fun (flow, g) -> Printf.printf "  tcp%d=%.0f" flow (float_of_int g /. 300.))
+    (Workload.Tcp_direct.goodputs tcp);
+  Printf.printf "  weighted jain=%.3f retx=%d\n" (Workload.Tcp_direct.jain tcp)
+    (Workload.Tcp_direct.total_retransmits tcp)
+
+let reproduce_tcp_direct () =
+  hr "Raw TCP over each core discipline (weights 1:2:3, 300 s goodput)";
+  let run label ~core_qdisc ~attach_csfq =
+    let engine = Sim.Engine.create () in
+    let core_qdisc = Option.map (fun f -> f engine) core_qdisc in
+    let network =
+      Workload.Network.single_bottleneck ~engine ?core_qdisc
+        ~weights:(fun i -> float_of_int i)
+        3
+    in
+    let tcp = Workload.Tcp_direct.build ~attach_csfq ~network () in
+    Workload.Tcp_direct.start tcp;
+    Sim.Engine.run_until engine 300.;
+    Workload.Tcp_direct.stop tcp;
+    Printf.printf "%-16s goodput" label;
+    List.iter
+      (fun (flow, g) -> Printf.printf "  tcp%d=%.0f" flow (float_of_int g /. 300.))
+      (Workload.Tcp_direct.goodputs tcp);
+    Printf.printf "  weighted jain=%.3f retx=%d\n" (Workload.Tcp_direct.jain tcp)
+      (Workload.Tcp_direct.total_retransmits tcp)
+  in
+  run "droptail" ~core_qdisc:None ~attach_csfq:false;
+  run "drr(weighted)"
+    ~core_qdisc:
+      (Some
+         (fun _engine () ->
+           Net.Qdisc.drr ~weight:(fun flow -> float_of_int flow) ~capacity:20 ()))
+    ~attach_csfq:false;
+  run "weighted csfq" ~core_qdisc:None ~attach_csfq:true;
+  run_csfq_smoothed ()
+
+let reproduce_replication () =
+  hr "Seed replication (Figure 5/6 headline numbers over 5 seeds)";
+  let seeds = [ 1; 2; 3; 4; 5 ] in
+  List.iter
+    (fun (spec : Workload.Figures.spec) ->
+      let stats = Workload.Replication.replicate_figure ~seeds spec in
+      Format.printf "%-6s [%-8s] jain %a@." spec.Workload.Figures.id
+        (Workload.Runner.scheme_name spec.Workload.Figures.scheme)
+        Workload.Replication.pp_stats stats.Workload.Replication.jain;
+      Format.printf "                 drops %a@." Workload.Replication.pp_stats
+        stats.Workload.Replication.drops;
+      Format.printf "                 conv  %a@." Workload.Replication.pp_stats
+        stats.Workload.Replication.convergence)
+    [ Workload.Figures.fig5 (); Workload.Figures.fig6 () ]
+
+let reproduce_sweeps () =
+  hr "Section 4.4 sensitivity + ablations (Figure 5 workload)";
+  List.iter
+    (fun named ->
+      Workload.Sweeps.pp_points Format.std_formatter named;
+      Format.print_newline ())
+    (Workload.Sweeps.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: microbenchmarks *)
+
+let bench_event_queue =
+  Test.make ~name:"event_queue: 1k add+pop"
+    (Staged.stage (fun () ->
+         let q = Sim.Event_queue.create () in
+         for i = 0 to 999 do
+           Sim.Event_queue.add q ~key:(float_of_int ((i * 7919) mod 997)) ~seq:i i
+         done;
+         while not (Sim.Event_queue.is_empty q) do
+           ignore (Sim.Event_queue.pop q)
+         done))
+
+let bench_engine =
+  Test.make ~name:"engine: 1k timer cascade"
+    (Staged.stage (fun () ->
+         let e = Sim.Engine.create () in
+         let rec chain n () =
+           if n > 0 then ignore (Sim.Engine.schedule e ~delay:0.001 (chain (n - 1)))
+         in
+         chain 1000 ();
+         Sim.Engine.run e))
+
+let bench_rng =
+  Test.make ~name:"rng: 1k bounded ints"
+    (Staged.stage
+       (let r = Sim.Rng.create 1 in
+        fun () ->
+          for _ = 1 to 1000 do
+            ignore (Sim.Rng.int r 500)
+          done))
+
+let bench_cache_selector =
+  Test.make ~name:"corelite: cache observe+select"
+    (Staged.stage
+       (let c = Corelite.Cache_selector.create ~capacity:512 ~rng:(Sim.Rng.create 2) in
+        let m = { Net.Packet.edge_id = 1; flow_id = 1; normalized_rate = 25. } in
+        fun () ->
+          for _ = 1 to 100 do
+            Corelite.Cache_selector.observe c m
+          done;
+          ignore (Corelite.Cache_selector.select c ~fn:5.)))
+
+let bench_stateless_selector =
+  Test.make ~name:"corelite: stateless observe x100"
+    (Staged.stage
+       (let s =
+          Corelite.Stateless_selector.create ~rav_gain:0.02 ~wav_gain:0.25 ~pw_cap:1.
+            ~rng:(Sim.Rng.create 3)
+        in
+        let m = { Net.Packet.edge_id = 1; flow_id = 1; normalized_rate = 25. } in
+        Corelite.Stateless_selector.on_epoch s ~fn:5.;
+        fun () ->
+          for _ = 1 to 100 do
+            ignore (Corelite.Stateless_selector.observe s m)
+          done))
+
+let bench_csfq_estimator =
+  Test.make ~name:"csfq: rate estimator x100"
+    (Staged.stage
+       (let e = Csfq.Rate_estimator.create ~k:0.1 in
+        let now = ref 0. in
+        fun () ->
+          for _ = 1 to 100 do
+            now := !now +. 0.002;
+            ignore (Csfq.Rate_estimator.update e ~now:!now ~amount:1.)
+          done))
+
+let bench_droptail =
+  Test.make ~name:"qdisc: droptail enqueue+dequeue x100"
+    (Staged.stage
+       (let q = Net.Qdisc.droptail ~capacity:200 in
+        let pkt = Net.Packet.make ~id:1 ~flow:1 ~created:0. () in
+        fun () ->
+          for _ = 1 to 100 do
+            ignore (q.Net.Qdisc.enqueue pkt)
+          done;
+          for _ = 1 to 100 do
+            ignore (q.Net.Qdisc.dequeue ())
+          done))
+
+let bench_drr =
+  Test.make ~name:"qdisc: drr 4 flows x100"
+    (Staged.stage
+       (let q = Net.Qdisc.drr ~weight:(fun f -> float_of_int f) ~capacity:200 () in
+        fun () ->
+          for i = 1 to 100 do
+            let pkt = Net.Packet.make ~id:i ~flow:(1 + (i mod 4)) ~created:0. () in
+            ignore (q.Net.Qdisc.enqueue pkt)
+          done;
+          for _ = 1 to 100 do
+            ignore (q.Net.Qdisc.dequeue ())
+          done))
+
+let bench_routing =
+  Test.make ~name:"routing: dijkstra on topology1"
+    (Staged.stage
+       (let engine = Sim.Engine.create () in
+        let network =
+          Workload.Network.topology1 ~engine ~weights:(fun _ -> 1.) ()
+        in
+        let topology = network.Workload.Network.topology in
+        let nodes = Net.Topology.nodes topology in
+        let src = List.hd nodes in
+        let dst = List.nth nodes (List.length nodes - 1) in
+        fun () -> ignore (Net.Routing.shortest_path topology ~src ~dst)))
+
+let bench_fluid =
+  Test.make ~name:"fairness: fluid model 10 flows x10 s"
+    (Staged.stage (fun () ->
+         let flows =
+           List.init 10 (fun i ->
+               {
+                 Fairness.Fluid.id = i;
+                 weight = Workload.Figures.weights_s42 (i + 1);
+                 links = [ 0 ];
+               })
+         in
+         ignore
+           (Fairness.Fluid.simulate ~capacities:[ (0, 500.) ] ~flows ~duration:10. ())))
+
+let bench_maxmin =
+  Test.make ~name:"fairness: maxmin topology1 (20 flows)"
+    (Staged.stage
+       (let engine = Sim.Engine.create () in
+        let network =
+          Workload.Network.topology1 ~engine ~weights:Workload.Figures.weights_s41 ()
+        in
+        let active = List.init 20 (fun i -> i + 1) in
+        fun () -> ignore (Workload.Network.expected_rates network ~active)))
+
+(* One simulated second of a figure workload: the end-to-end cost of
+   that scenario in the simulator. *)
+let bench_figure spec =
+  Test.make ~name:(Printf.sprintf "simulate 1 s of %s" spec.Workload.Figures.id)
+    (Staged.stage (fun () ->
+         let engine = Sim.Engine.create () in
+         let network = spec.Workload.Figures.make_network ~engine in
+         ignore
+           (Workload.Runner.run ~scheme:spec.Workload.Figures.scheme ~network
+              ~schedule:spec.Workload.Figures.schedule ~duration:1. ())))
+
+let microbenchmarks () =
+  let tests =
+    Test.make_grouped ~name:"corelite"
+      ([
+         bench_event_queue;
+         bench_engine;
+         bench_rng;
+         bench_cache_selector;
+         bench_stateless_selector;
+         bench_csfq_estimator;
+         bench_droptail;
+         bench_drr;
+         bench_routing;
+         bench_fluid;
+         bench_maxmin;
+       ]
+      @ List.map bench_figure
+          [ Workload.Figures.fig3 (); Workload.Figures.fig5 (); Workload.Figures.fig6 () ])
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  Analyze.merge ols instances results
+
+let print_results results =
+  hr "Microbenchmarks (ns per run, OLS on monotonic clock)";
+  Hashtbl.iter
+    (fun measure by_test ->
+      if measure = Measure.label Instance.monotonic_clock then
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) by_test []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        |> List.iter (fun (name, ols) ->
+               match Analyze.OLS.estimates ols with
+               | Some (estimate :: _) ->
+                 Printf.printf "%-44s %14.0f ns/run\n" name estimate
+               | Some [] | None -> Printf.printf "%-44s (no estimate)\n" name))
+    results
+
+let () =
+  reproduce_figures ();
+  reproduce_expected_rate_table ();
+  reproduce_sweeps ();
+  reproduce_analysis ();
+  reproduce_policing ();
+  reproduce_tcp_direct ();
+  reproduce_replication ();
+  reproduce_tcp_extension ();
+  print_results (microbenchmarks ())

@@ -1,0 +1,1 @@
+bin/corelite_sim.ml: Arg Cmd Cmdliner Corelite Csfq Format List Logs Logs_fmt Net Printf Sim String Term Workload

@@ -1,0 +1,1 @@
+bin/corelite_sim.mli:

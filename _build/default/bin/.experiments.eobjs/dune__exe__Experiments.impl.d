@@ -1,0 +1,1 @@
+bin/experiments.ml: Filename Format Hashtbl List Net Option Printf Sim String Workload

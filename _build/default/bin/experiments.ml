@@ -1,0 +1,127 @@
+(* Regenerates every experiment of the paper in one go:
+
+   - Figures 3-10: runs each scenario, prints the phase summaries and
+     writes the full per-second CSV series under results/;
+   - the restart-recovery comparison behind the Figures 9/10 discussion;
+   - the Section 4.4 sensitivity sweeps and the ablations;
+   - the TCP-aggregation extension.
+
+   Output feeds EXPERIMENTS.md. Run with: dune exec bin/experiments.exe *)
+
+let results_dir = "results"
+
+let hr title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let figures () =
+  hr "Figures 3-10";
+  List.iter
+    (fun spec ->
+      let result = Workload.Figures.run spec in
+      let summary = Workload.Figures.summarize spec result in
+      Workload.Figures.pp_summary Format.std_formatter summary;
+      Workload.Csv.write_result ~dir:results_dir ~prefix:spec.Workload.Figures.id
+        result)
+    (Workload.Figures.all ());
+  Printf.printf "\nCSV series written under %s/\n" results_dir
+
+(* The Figures 9/10 discussion: how fast do restarted high-weight flows
+   regain their share? Flow i restarts at i+65; weight-3 flows are 5,
+   10 and 15; fair share 71.4 pkt/s. *)
+let restart_recovery () =
+  hr "Figures 9/10: restart recovery of weight-3 flows (time to 80% of share)";
+  List.iter
+    (fun (spec : Workload.Figures.spec) ->
+      let result = Workload.Figures.run spec in
+      Printf.printf "%-8s:"
+        (Workload.Runner.scheme_name spec.Workload.Figures.scheme);
+      List.iter
+        (fun flow ->
+          let restart_at = float_of_int flow +. 65. in
+          match
+            Workload.Figures.restart_recovery result ~flow ~restart_at ~target:71.4
+              ~fraction:0.8
+          with
+          | Some t -> Printf.printf "  flow %d: %5.1f s" flow t
+          | None -> Printf.printf "  flow %d:  none " flow)
+        [ 5; 10; 15 ];
+      print_newline ())
+    [ Workload.Figures.fig9 (); Workload.Figures.fig10 () ]
+
+(* Queue dynamics at the first congested link under both schemes: the
+   "incipient congestion" behaviour the whole design is about. Corelite
+   should hover near the 8-packet threshold; CSFQ fills the buffer. *)
+let queue_dynamics () =
+  hr "Queue dynamics at link C1->C2 (Figure 5/6 workload)";
+  List.iter
+    (fun (spec : Workload.Figures.spec) ->
+      let engine = Sim.Engine.create () in
+      let network = spec.Workload.Figures.make_network ~engine in
+      let bottleneck = List.hd network.Workload.Network.core_links in
+      let probe = Net.Probe.attach ~engine ~period:0.5 bottleneck in
+      let _ =
+        Workload.Runner.run ~scheme:spec.Workload.Figures.scheme ~network
+          ~schedule:spec.Workload.Figures.schedule
+          ~duration:spec.Workload.Figures.duration ()
+      in
+      let queue = Net.Probe.queue_series probe in
+      let mean_queue =
+        Option.value ~default:0.
+          (Sim.Timeseries.window_mean queue ~from:20. ~until:80.)
+      in
+      Printf.printf
+        "%-8s: mean queue %.1f pkts  peak %d/40  utilization %.1f%%
+"
+        (Workload.Runner.scheme_name spec.Workload.Figures.scheme)
+        mean_queue (Net.Probe.peak_queue probe)
+        (100. *. Net.Probe.mean_utilization probe);
+      Workload.Csv.write_series
+        ~path:
+          (Filename.concat results_dir
+             (Printf.sprintf "%s_queue.csv" spec.Workload.Figures.id))
+        [ (0, queue); (1, Net.Probe.throughput_series probe);
+          (2, Net.Probe.drop_series probe) ])
+    [ Workload.Figures.fig5 (); Workload.Figures.fig6 () ]
+
+let sweeps () =
+  hr "Section 4.4 sensitivity sweeps and ablations";
+  List.iter
+    (fun named ->
+      Workload.Sweeps.pp_points Format.std_formatter named;
+      Format.print_newline ())
+    (Workload.Sweeps.all ())
+
+let tcp_extension () =
+  hr "Extension: TCP micro-flows in shaped aggregates";
+  let engine = Sim.Engine.create () in
+  let network =
+    Workload.Network.single_bottleneck ~engine ~weights:(fun i -> float_of_int i) 2
+  in
+  let tcp = Workload.Tcp_workload.build ~network ~micro_flows:(fun _ -> 3) () in
+  Workload.Tcp_workload.start tcp;
+  let snapshot = Hashtbl.create 8 in
+  ignore
+    (Sim.Engine.schedule_at engine ~time:300. (fun () ->
+         List.iter
+           (fun (flow, g) -> Hashtbl.replace snapshot flow g)
+           (Workload.Tcp_workload.aggregate_goodputs tcp)));
+  Sim.Engine.run_until engine 400.;
+  Workload.Tcp_workload.stop tcp;
+  let reference = Workload.Network.expected_rates network ~active:[ 1; 2 ] in
+  List.iter
+    (fun (flow, total) ->
+      let before = Option.value ~default:0 (Hashtbl.find_opt snapshot flow) in
+      Printf.printf
+        "aggregate %d (w=%.0f): steady goodput %.1f pkt/s (corelite share %.1f)\n" flow
+        (Workload.Network.flow network flow).Net.Flow.weight
+        (float_of_int (total - before) /. 100.)
+        (List.assoc flow reference))
+    (Workload.Tcp_workload.aggregate_goodputs tcp)
+
+let () =
+  Printf.printf "Corelite reproduction: full experiment suite\n";
+  figures ();
+  restart_recovery ();
+  queue_dynamics ();
+  sweeps ();
+  tcp_extension ()

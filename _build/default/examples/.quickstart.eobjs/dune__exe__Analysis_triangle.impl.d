@@ -1,0 +1,1 @@
+examples/analysis_triangle.ml: Corelite Fairness Float List Printf Sim Workload

@@ -1,0 +1,1 @@
+examples/corelite_vs_csfq.ml: Corelite Csfq Fairness List Printf Sim Workload

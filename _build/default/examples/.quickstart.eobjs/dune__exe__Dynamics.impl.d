@@ -1,0 +1,1 @@
+examples/dynamics.ml: Corelite List Net Printf Sim Workload

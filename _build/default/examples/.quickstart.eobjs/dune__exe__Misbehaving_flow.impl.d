@@ -1,0 +1,1 @@
+examples/misbehaving_flow.ml: Corelite Csfq List Printf Sim Workload

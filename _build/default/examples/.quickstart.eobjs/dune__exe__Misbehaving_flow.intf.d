@@ -1,0 +1,1 @@
+examples/misbehaving_flow.mli:

@@ -1,0 +1,1 @@
+examples/multi_cloud.ml: Corelite Hashtbl List Option Printf Sim Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Corelite List Net Printf Sim Workload

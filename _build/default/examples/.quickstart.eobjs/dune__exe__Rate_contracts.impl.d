@@ -1,0 +1,1 @@
+examples/rate_contracts.ml: Corelite Fairness List Net Option Printf Sim Workload

@@ -1,0 +1,1 @@
+examples/tcp_aggregates.ml: Hashtbl List Net Option Printf Sim Workload

@@ -1,0 +1,50 @@
+(* Network dynamics on the paper's Topology 1 (Figure 3 scenario,
+   compressed): 20 flows with weights from Section 4.1; flows 1, 9,
+   10, 11 and 16 join late and leave early. The run prints the measured
+   per-flow rate in each phase against the paper's expected values
+   (33.33 and 25 pkt/s per unit weight).
+
+   Run with: dune exec examples/dynamics.exe *)
+
+let () =
+  let late = [ 1; 9; 10; 11; 16 ] in
+  let all = List.init 20 (fun i -> i + 1) in
+  let early = List.filter (fun i -> not (List.mem i late)) all in
+
+  let engine = Sim.Engine.create () in
+  let network =
+    Workload.Network.topology1 ~engine ~weights:Workload.Figures.weights_s41 ()
+  in
+  (* Compressed timeline of Figure 3: phases of 100 s instead of 250 s. *)
+  let schedule =
+    List.map (fun i -> (0., Workload.Runner.Start i)) early
+    @ List.map (fun i -> (100., Workload.Runner.Start i)) late
+    @ List.map (fun i -> (200., Workload.Runner.Stop i)) late
+  in
+  let result =
+    Workload.Runner.run
+      ~scheme:(Workload.Runner.Corelite Corelite.Params.default)
+      ~network ~schedule ~duration:300. ()
+  in
+
+  let show label ~from ~until ~active =
+    let reference = Workload.Network.expected_rates network ~active in
+    Printf.printf "\n== %s ==\n" label;
+    Printf.printf "flow  weight  measured  expected\n";
+    List.iter
+      (fun id ->
+        let flow = Workload.Network.flow network id in
+        Printf.printf "%4d  %6.0f  %8.1f  %8.1f\n" id flow.Net.Flow.weight
+          (Workload.Runner.mean_rate result ~flow:id ~from ~until)
+          (List.assoc id reference))
+      active;
+    Printf.printf "Jain index: %.4f\n"
+      (Workload.Runner.jain ~flows:active result ~from ~until)
+  in
+  show "phase 1: 15 flows (expect 33.3 pkt/s per unit weight)" ~from:60. ~until:100.
+    ~active:early;
+  show "phase 2: 20 flows (expect 25 pkt/s per unit weight)" ~from:160. ~until:200.
+    ~active:all;
+  show "phase 3: the 15 survivors reclaim their shares" ~from:260. ~until:300.
+    ~active:early;
+  Printf.printf "\ncore drops over the whole run: %d\n" result.Workload.Runner.core_drops

@@ -1,0 +1,1 @@
+lib/corelite/corelite.ml: Aggregate Cache_selector Congestion Core Deployment Edge Params Stateless_selector

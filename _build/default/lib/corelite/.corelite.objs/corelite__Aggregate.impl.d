@@ -1,0 +1,1 @@
+lib/corelite/aggregate.ml: Edge Hashtbl Net Queue

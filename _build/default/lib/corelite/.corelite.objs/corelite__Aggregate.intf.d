@@ -1,0 +1,1 @@
+lib/corelite/aggregate.mli: Edge Net Params

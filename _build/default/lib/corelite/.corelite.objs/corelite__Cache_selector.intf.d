@@ -1,0 +1,1 @@
+lib/corelite/cache_selector.mli: Net Sim

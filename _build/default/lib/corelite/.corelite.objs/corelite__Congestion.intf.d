@@ -1,0 +1,1 @@
+lib/corelite/congestion.mli:

@@ -1,0 +1,1 @@
+lib/corelite/core.ml: Cache_selector Congestion List Logs Net Params Sim Stateless_selector

@@ -1,0 +1,1 @@
+lib/corelite/core.mli: Net Params Sim

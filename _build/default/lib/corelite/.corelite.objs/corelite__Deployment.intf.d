@@ -1,0 +1,1 @@
+lib/corelite/deployment.mli: Core Edge Hashtbl Net Params Sim

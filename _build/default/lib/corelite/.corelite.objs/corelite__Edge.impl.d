@@ -1,0 +1,1 @@
+lib/corelite/edge.ml: Float Hashtbl Logs Net Option Params Sim Stdlib

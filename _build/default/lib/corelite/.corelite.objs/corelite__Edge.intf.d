@@ -1,0 +1,1 @@
+lib/corelite/edge.mli: Net Params

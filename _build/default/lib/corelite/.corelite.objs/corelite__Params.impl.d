@@ -1,0 +1,1 @@
+lib/corelite/params.ml: Congestion Float Net Stdlib

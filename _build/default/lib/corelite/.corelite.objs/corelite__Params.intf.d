@@ -1,0 +1,1 @@
+lib/corelite/params.mli: Congestion Net

@@ -1,0 +1,1 @@
+lib/corelite/stateless_selector.ml: Float Net Sim

@@ -1,0 +1,1 @@
+lib/corelite/stateless_selector.mli: Net Sim

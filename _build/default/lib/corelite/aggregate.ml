@@ -1,0 +1,89 @@
+type t = {
+  queue_capacity : int;
+  queues : (int, Net.Packet.t Queue.t) Hashtbl.t;  (* micro -> ingress queue *)
+  round_robin : int Queue.t;  (* micro ids with packets waiting *)
+  consumers : (int, Net.Packet.t -> unit) Hashtbl.t;
+  mutable edge : Edge.t option;  (* set once in [create] *)
+  mutable backlog : int;
+  mutable edge_drops : int;
+  mutable undeliverable : int;
+}
+
+let edge t = match t.edge with Some e -> e | None -> assert false
+
+let backlog t = t.backlog
+
+let edge_drops t = t.edge_drops
+
+let undeliverable t = t.undeliverable
+
+(* Round-robin service: take the next micro-flow with a waiting packet;
+   re-queue it at the tail if it still has backlog. *)
+let supply t () =
+  match Queue.take_opt t.round_robin with
+  | None ->
+    Edge.set_backlogged (edge t) false;
+    None
+  | Some micro ->
+    let q = Hashtbl.find t.queues micro in
+    let pkt = Queue.pop q in
+    t.backlog <- t.backlog - 1;
+    if not (Queue.is_empty q) then Queue.push micro t.round_robin;
+    if Queue.is_empty t.round_robin then Edge.set_backlogged (edge t) false;
+    Some pkt
+
+let deliver t pkt =
+  match Hashtbl.find_opt t.consumers pkt.Net.Packet.micro with
+  | Some consume -> consume pkt
+  | None -> t.undeliverable <- t.undeliverable + 1
+
+let create ~params ~topology ~flow ?(floor = 0.) ?(epoch_offset = 0.)
+    ?(queue_capacity = 32) () =
+  if queue_capacity <= 0 then
+    invalid_arg "Aggregate.create: queue_capacity must be positive";
+  let t =
+    {
+      queue_capacity;
+      queues = Hashtbl.create 8;
+      round_robin = Queue.create ();
+      consumers = Hashtbl.create 8;
+      edge = None;
+      backlog = 0;
+      edge_drops = 0;
+      undeliverable = 0;
+    }
+  in
+  t.edge <-
+    Some
+      (Edge.create ~params ~topology ~flow ~floor ~epoch_offset ~supply:(supply t)
+         ~deliver:(deliver t) ());
+  t
+
+let start t = Edge.start (edge t)
+
+let stop t = Edge.stop (edge t)
+
+let submit t pkt =
+  let micro = pkt.Net.Packet.micro in
+  let q =
+    match Hashtbl.find_opt t.queues micro with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.add t.queues micro q;
+      q
+  in
+  if Queue.length q >= t.queue_capacity then begin
+    t.edge_drops <- t.edge_drops + 1;
+    false
+  end
+  else begin
+    if Queue.is_empty q then Queue.push micro t.round_robin;
+    Queue.push pkt q;
+    t.backlog <- t.backlog + 1;
+    (* Waking the shaper: data is available again. *)
+    Edge.set_backlogged (edge t) true;
+    true
+  end
+
+let set_consumer t ~micro consume = Hashtbl.replace t.consumers micro consume

@@ -1,0 +1,53 @@
+(** Edge-to-edge aggregates of end-to-end micro-flows.
+
+    The paper defines a "flow" as an edge-to-edge aggregate that "can
+    potentially comprise of several end to end micro flows" and leaves
+    "aggregation of flows at the edge router" as ongoing work. This
+    module implements that layer: end hosts submit packets of their
+    micro-flows to the ingress edge; the edge buffers them in
+    per-micro-flow queues, shapes the aggregate at the Corelite allowed
+    rate [bg(f)] serving the queues in round-robin (so micro-flows
+    share the aggregate's rate fairly), and drops excess traffic at the
+    edge ("drop packets from ill behaved flows at the edges of the
+    network"). Marker injection and rate adaptation are the ordinary
+    {!Edge} mechanisms. At the egress, delivered packets are handed to
+    a per-micro-flow consumer (e.g. a {!Net.Tcp.Receiver}). *)
+
+type t
+
+(** [create ~params ~topology ~flow ()] builds a stopped aggregate.
+    [queue_capacity] bounds each micro-flow's ingress queue (default
+    32 packets). *)
+val create :
+  params:Params.t ->
+  topology:Net.Topology.t ->
+  flow:Net.Flow.t ->
+  ?floor:float ->
+  ?epoch_offset:float ->
+  ?queue_capacity:int ->
+  unit ->
+  t
+
+(** The underlying adaptive edge agent (rate, counters, feedback). *)
+val edge : t -> Edge.t
+
+val start : t -> unit
+
+val stop : t -> unit
+
+(** Submit a micro-flow packet at the ingress edge. Returns [false]
+    (and drops the packet) when that micro-flow's queue is full. The
+    packet's [micro] field identifies its queue. *)
+val submit : t -> Net.Packet.t -> bool
+
+(** Register the egress consumer for one micro-flow. *)
+val set_consumer : t -> micro:int -> (Net.Packet.t -> unit) -> unit
+
+(** Packets dropped at the ingress queues (edge policing). *)
+val edge_drops : t -> int
+
+(** Packets currently buffered at the ingress across all micro-flows. *)
+val backlog : t -> int
+
+(** Packets delivered to unregistered micro-flows (should stay 0). *)
+val undeliverable : t -> int

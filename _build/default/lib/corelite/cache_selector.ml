@@ -1,0 +1,32 @@
+type t = {
+  rng : Sim.Rng.t;
+  slots : Net.Packet.marker option array;
+  mutable next : int;  (* circular write cursor *)
+  mutable filled : int;
+}
+
+let create ~capacity ~rng =
+  if capacity <= 0 then invalid_arg "Cache_selector.create: capacity must be positive";
+  { rng; slots = Array.make capacity None; next = 0; filled = 0 }
+
+let observe t marker =
+  t.slots.(t.next) <- Some marker;
+  t.next <- (t.next + 1) mod Array.length t.slots;
+  if t.filled < Array.length t.slots then t.filled <- t.filled + 1
+
+let occupancy t = t.filled
+
+let select t ~fn =
+  if fn < 0. then invalid_arg "Cache_selector.select: negative budget";
+  if t.filled = 0 || fn = 0. then []
+  else begin
+    let whole = int_of_float fn in
+    let frac = fn -. float_of_int whole in
+    let count = whole + (if Sim.Rng.bernoulli t.rng frac then 1 else 0) in
+    let draw () =
+      match t.slots.(Sim.Rng.int t.rng t.filled) with
+      | Some marker -> marker
+      | None -> assert false (* indices < filled are always populated *)
+    in
+    List.init count (fun _ -> draw ())
+  end

@@ -1,0 +1,24 @@
+(** Marker-cache feedback selection (paper Section 2).
+
+    The cache is a circular queue holding the most recent markers that
+    traversed the link. Because edges inject markers at the flow's
+    normalized rate, a flow's share of cache entries is proportional to
+    [bg/w], so drawing uniformly at random yields weighted fair
+    feedback without inspecting marker contents. *)
+
+type t
+
+val create : capacity:int -> rng:Sim.Rng.t -> t
+
+(** Record a marker passing through the link (overwrites the oldest
+    entry when full). *)
+val observe : t -> Net.Packet.marker -> unit
+
+(** [select t ~fn] draws markers for one congested epoch: [floor fn]
+    draws plus one more with probability [frac fn], each uniform over
+    the cache (with replacement). Returns [[]] when the cache is
+    empty. *)
+val select : t -> fn:float -> Net.Packet.marker list
+
+(** Markers currently cached. *)
+val occupancy : t -> int

@@ -1,0 +1,39 @@
+let mm1_arrival_rate ~mu ~q =
+  if mu < 0. || q < 0. then invalid_arg "Congestion.mm1_arrival_rate: negative input";
+  mu *. q /. (1. +. q)
+
+let markers_needed ~mu ~qavg ~qthresh ~k =
+  if mu < 0. || qavg < 0. || qthresh < 0. || k < 0. then
+    invalid_arg "Congestion.markers_needed: negative input";
+  if qavg <= qthresh then 0.
+  else begin
+    let excess = mm1_arrival_rate ~mu ~q:qavg -. mm1_arrival_rate ~mu ~q:qthresh in
+    let correction = k *. ((qavg -. qthresh) ** 3.) in
+    excess +. correction
+  end
+
+type spec =
+  | Mm1_cubic of float
+  | Linear_excess of float
+  | Ewma_threshold of { gain : float; scale : float }
+
+type t = { spec : spec; smoothed : Sim.Stats.Ewma.t option }
+
+let make spec =
+  let smoothed =
+    match spec with
+    | Ewma_threshold { gain; _ } -> Some (Sim.Stats.Ewma.create ~gain)
+    | Mm1_cubic _ | Linear_excess _ -> None
+  in
+  { spec; smoothed }
+
+let budget t ~mu ~qavg ~qthresh =
+  if mu < 0. || qavg < 0. || qthresh < 0. then
+    invalid_arg "Congestion.budget: negative input";
+  match (t.spec, t.smoothed) with
+  | Mm1_cubic k, _ -> markers_needed ~mu ~qavg ~qthresh ~k
+  | Linear_excess gain, _ -> Float.max 0. (gain *. (qavg -. qthresh))
+  | Ewma_threshold { scale; _ }, Some smoothed ->
+    Sim.Stats.Ewma.update smoothed qavg;
+    Float.max 0. (scale *. (Sim.Stats.Ewma.value smoothed -. qthresh))
+  | Ewma_threshold _, None -> assert false

@@ -1,0 +1,48 @@
+(** Incipient congestion estimation (paper Section 3.1).
+
+    The default estimator computes, when the epoch-averaged queue size
+    [qavg] exceeds [qthresh], the number of marker feedbacks
+
+    [Fn = mu * (qavg/(1+qavg) - qthresh/(1+qthresh))
+          + k * (qavg - qthresh)^3]
+
+    with [mu] the link service rate in packets per congestion epoch.
+    The first term is the M/M/1 estimate of the arrival-rate excess
+    corresponding to driving the average queue from [qavg] down to
+    [qthresh]; the cubic term is the self-correcting factor that takes
+    over when the traffic is not Poisson and queues keep building.
+
+    The paper notes that "the congestion estimation module can be
+    replaced with no impact on the rest of the Corelite mechanisms";
+    {!spec} captures that pluggability and the ablation benches compare
+    the variants. *)
+
+(** Which budget function a core link runs.
+
+    - [Mm1_cubic k]: the paper's estimator (above).
+    - [Linear_excess gain]: [Fn = gain * (qavg - qthresh)] — the
+      simplest proportional controller.
+    - [Ewma_threshold { gain; scale }]: RED-flavoured — an EWMA of the
+      per-epoch [qavg] (smoothing across epochs) drives
+      [Fn = scale * (ewma - qthresh)] once it crosses the threshold. *)
+type spec =
+  | Mm1_cubic of float
+  | Linear_excess of float
+  | Ewma_threshold of { gain : float; scale : float }
+
+(** Per-link estimator instance (the EWMA variant carries state). *)
+type t
+
+val make : spec -> t
+
+(** [budget t ~mu ~qavg ~qthresh] is the number of feedback markers for
+    the epoch that just ended; [0.] when not congested.
+    @raise Invalid_argument on negative inputs. *)
+val budget : t -> mu:float -> qavg:float -> qthresh:float -> float
+
+(** The paper's closed-form budget (exposed for tests and docs). *)
+val markers_needed : mu:float -> qavg:float -> qthresh:float -> k:float -> float
+
+(** Expected M/M/1 arrival rate (packets/epoch) that sustains an average
+    queue of [q] at service rate [mu]: [mu * q / (1 + q)]. *)
+val mm1_arrival_rate : mu:float -> q:float -> float

@@ -1,0 +1,125 @@
+let log = Logs.Src.create "corelite.core" ~doc:"Corelite core-router logic"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type selector_state =
+  | Cache of Cache_selector.t
+  | Stateless of Stateless_selector.t
+
+type t = {
+  params : Params.t;
+  estimator : Congestion.t;
+  link : Net.Link.t;
+  send_feedback : Net.Packet.marker -> unit;
+  selector : selector_state;
+  qlen : Sim.Stats.Time_weighted.t;
+  mutable timer : Sim.Engine.handle option;
+  mutable last_qavg : float;
+  mutable last_fn : float;
+  mutable feedback_sent : int;
+  mutable congested_epochs : int;
+  mutable markers_seen : int;
+}
+
+let link t = t.link
+
+let last_qavg t = t.last_qavg
+
+let last_fn t = t.last_fn
+
+let feedback_sent t = t.feedback_sent
+
+let congested_epochs t = t.congested_epochs
+
+let markers_seen t = t.markers_seen
+
+let emit t marker =
+  t.feedback_sent <- t.feedback_sent + 1;
+  t.send_feedback marker
+
+let on_marker t marker =
+  t.markers_seen <- t.markers_seen + 1;
+  match t.selector with
+  | Cache cache -> Cache_selector.observe cache marker
+  | Stateless sel ->
+    let copies = Stateless_selector.observe sel marker in
+    for _ = 1 to copies do
+      emit t marker
+    done
+
+let on_epoch t engine () =
+  let now = Sim.Engine.now engine in
+  let qavg = Sim.Stats.Time_weighted.average t.qlen ~now in
+  Sim.Stats.Time_weighted.reset t.qlen ~now;
+  let mu = Net.Link.capacity_pps t.link *. t.params.Params.core_epoch in
+  let fn = Congestion.budget t.estimator ~mu ~qavg ~qthresh:t.params.Params.qthresh in
+  t.last_qavg <- qavg;
+  t.last_fn <- fn;
+  if fn > 0. then begin
+    t.congested_epochs <- t.congested_epochs + 1;
+    Log.debug (fun m ->
+        m "t=%.3f link %s congested: qavg=%.2f fn=%.2f" now t.link.Net.Link.name qavg
+          fn)
+  end;
+  match t.selector with
+  | Cache cache ->
+    if fn > 0. then List.iter (emit t) (Cache_selector.select cache ~fn)
+  | Stateless sel -> Stateless_selector.on_epoch sel ~fn
+
+let attach ~params ~rng ~send_feedback link =
+  if link.Net.Link.hooks <> None then
+    invalid_arg ("Core.attach: link " ^ link.Net.Link.name ^ " already has hooks");
+  let engine = link.Net.Link.engine in
+  let now = Sim.Engine.now engine in
+  let selector =
+    match params.Params.selector with
+    | Params.Cache ->
+      Cache (Cache_selector.create ~capacity:params.Params.cache_size ~rng)
+    | Params.Stateless ->
+      Stateless
+        (Stateless_selector.create ~rav_gain:params.Params.rav_gain
+           ~wav_gain:params.Params.wav_gain ~pw_cap:params.Params.pw_cap ~rng)
+  in
+  let qlen =
+    Sim.Stats.Time_weighted.create ~now
+      ~init:(float_of_int (Net.Link.queue_length link))
+  in
+  let t =
+    {
+      params;
+      estimator = Congestion.make params.Params.estimator;
+      link;
+      send_feedback;
+      selector;
+      qlen;
+      timer = None;
+      last_qavg = 0.;
+      last_fn = 0.;
+      feedback_sent = 0;
+      congested_epochs = 0;
+      markers_seen = 0;
+    }
+  in
+  t.timer <-
+    Some (Sim.Engine.every engine ~period:params.Params.core_epoch (on_epoch t engine));
+  let hooks =
+    {
+      Net.Link.on_arrival =
+        (fun pkt ->
+          (match pkt.Net.Packet.marker with
+          | Some marker -> on_marker t marker
+          | None -> ());
+          Net.Link.Pass);
+      on_queue_change =
+        (fun qlen_now ->
+          Sim.Stats.Time_weighted.set t.qlen ~now:(Sim.Engine.now engine)
+            (float_of_int qlen_now));
+    }
+  in
+  link.Net.Link.hooks <- Some hooks;
+  t
+
+let detach t =
+  (match t.timer with Some h -> Sim.Engine.cancel h | None -> ());
+  t.timer <- None;
+  t.link.Net.Link.hooks <- None

@@ -1,0 +1,41 @@
+(** Corelite core-router logic for one outgoing link.
+
+    The core router's whole job (paper Sections 2-3): forward packets
+    normally, watch markers go by, monitor the time-averaged queue size
+    once per congestion epoch, and on incipient congestion send weighted
+    fair marker feedback to the edges that generated the markers. No
+    per-flow state is kept — only the selector's aggregate variables.
+
+    [send_feedback] is the control-plane path back to the edge; the
+    deployment wires it with the reverse propagation delay. *)
+
+type t
+
+val attach :
+  params:Params.t ->
+  rng:Sim.Rng.t ->
+  send_feedback:(Net.Packet.marker -> unit) ->
+  Net.Link.t ->
+  t
+(** Installs hooks on the link and starts the congestion-epoch timer.
+    @raise Invalid_argument if the link already has hooks. *)
+
+val link : t -> Net.Link.t
+
+(** Average queue size measured in the last completed epoch. *)
+val last_qavg : t -> float
+
+(** Marker budget [Fn] computed at the last epoch boundary. *)
+val last_fn : t -> float
+
+(** Total feedback markers sent. *)
+val feedback_sent : t -> int
+
+(** Epochs that ended congested. *)
+val congested_epochs : t -> int
+
+(** Markers observed in total. *)
+val markers_seen : t -> int
+
+(** Stop the epoch timer and remove the link hooks. *)
+val detach : t -> unit

@@ -1,0 +1,57 @@
+(** Corelite: per-flow weighted rate fairness in a core stateless
+    network (Sivakumar et al., ICDCS 2000).
+
+    The ingress edge shapes each flow to its allowed rate [bg(f)] and
+    piggybacks a marker on every [K1*w]-th packet, so a flow's marker
+    rate encodes its normalized rate [bg/w] ({!Edge}). Core routers
+    keep {e no per-flow state}: per link they watch the epoch-averaged
+    queue length, compute a feedback budget [Fn] on incipient
+    congestion ({!Congestion}), and return that many markers to the
+    edges that sent them — drawn uniformly from a small marker cache
+    ({!Cache_selector}) or, fully stateless, selected on the fly among
+    markers whose labelled rate is at or above the running average
+    ({!Stateless_selector}); {!Core} glues these onto a link. Edges
+    react to the {e maximum} feedback count over the links of the path
+    (the bottleneck) with a weighted linear-increase /
+    multiplicative-decrease rule that converges to weighted max-min
+    fairness without packet loss.
+
+    {!Deployment} wires agents, core links and the feedback control
+    plane; {!Aggregate} extends the edge to shape aggregates of
+    end-to-end micro-flows (round-robin service, edge policing), which
+    is how TCP traffic rides the cloud.
+
+    {1 Minimal use}
+
+    {[
+      let deployment =
+        Corelite.Deployment.build ~params:Corelite.Params.default
+          ~rng ~topology ~flows ~core_links
+      in
+      Corelite.Deployment.start_all deployment;
+      Sim.Engine.run_until engine 100.
+    ]} *)
+
+(** Every constant of the scheme (paper defaults + sensitivity knobs). *)
+module Params = Params
+
+(** Incipient-congestion feedback budgets ([Fn]), pluggable. *)
+module Congestion = Congestion
+
+(** Marker-cache feedback selection (paper Section 2). *)
+module Cache_selector = Cache_selector
+
+(** Stateless selective feedback (paper Section 3.2). *)
+module Stateless_selector = Stateless_selector
+
+(** Per-link core-router logic. *)
+module Core = Core
+
+(** Per-flow edge-router agent: shaping, marking, adaptation. *)
+module Edge = Edge
+
+(** Micro-flow aggregation at the ingress edge. *)
+module Aggregate = Aggregate
+
+(** Whole-cloud wiring: agents + cores + control plane. *)
+module Deployment = Deployment

@@ -1,0 +1,101 @@
+type flow_spec = { flow : Net.Flow.t; floor : float }
+
+let spec ?(floor = 0.) flow = { flow; floor }
+
+type t = {
+  topology : Net.Topology.t;
+  agents : (int, Edge.t) Hashtbl.t;
+  cores : Core.t list;
+  core_links : Net.Link.t list;
+  drops_by_flow : (int, int) Hashtbl.t;
+}
+
+(* Wire core-router logic for a set of pre-built agents: feedback
+   selected at a core link travels back to the generating edge with the
+   reverse-path propagation delay, then lands in the flow's agent. *)
+let of_agents ~params ~rng ~topology ~agents ~core_links =
+  (* Feedback latency per (link, flow), precomputed from the paths. *)
+  let delays : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ agent ->
+      let flow = Edge.flow agent in
+      List.iter
+        (fun link ->
+          match Net.Flow.upstream_delay flow topology link with
+          | Some d -> Hashtbl.replace delays (link.Net.Link.id, flow.Net.Flow.id) d
+          | None -> ())
+        core_links)
+    agents;
+  let engine = Net.Topology.engine topology in
+  (* Corelite edges do not react to losses (feedback markers carry the
+     signal), but per-flow loss accounting is an evaluation metric. *)
+  let drops_by_flow : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun link ->
+      link.Net.Link.on_drop <-
+        Some
+          (fun _reason pkt ->
+            let flow = pkt.Net.Packet.flow in
+            Hashtbl.replace drops_by_flow flow
+              (1 + Option.value ~default:0 (Hashtbl.find_opt drops_by_flow flow))))
+    core_links;
+  let cores =
+    List.map
+      (fun link ->
+        let send_feedback marker =
+          let flow_id = marker.Net.Packet.flow_id in
+          match Hashtbl.find_opt agents flow_id with
+          | None -> ()
+          | Some agent ->
+            let delay =
+              Option.value ~default:0.
+                (Hashtbl.find_opt delays (link.Net.Link.id, flow_id))
+            in
+            ignore
+              (Sim.Engine.schedule engine ~delay (fun () ->
+                   Edge.receive_feedback agent ~link_id:link.Net.Link.id marker))
+        in
+        Core.attach ~params ~rng:(Sim.Rng.split rng) ~send_feedback link)
+      core_links
+  in
+  { topology; agents; cores; core_links; drops_by_flow }
+
+let build ~params ~rng ~topology ~flows ~core_links =
+  let agents = Hashtbl.create 32 in
+  let epoch = params.Params.source.Net.Source.epoch in
+  List.iter
+    (fun { flow; floor } ->
+      let id = flow.Net.Flow.id in
+      if Hashtbl.mem agents id then
+        invalid_arg (Printf.sprintf "Deployment.build: duplicate flow %d" id);
+      (* Edge routers are not clock-synchronized: give each agent a
+         random timer phase so adaptation steps do not align. *)
+      let epoch_offset = Sim.Rng.float rng epoch in
+      Hashtbl.add agents id (Edge.create ~params ~topology ~flow ~floor ~epoch_offset ()))
+    flows;
+  of_agents ~params ~rng ~topology ~agents ~core_links
+
+let agent t id =
+  match Hashtbl.find_opt t.agents id with
+  | Some a -> a
+  | None -> raise Not_found
+
+let agents t =
+  Hashtbl.fold (fun id a acc -> (id, a) :: acc) t.agents []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let cores t = t.cores
+
+let start_flow t id = Edge.start (agent t id)
+
+let stop_flow t id = Edge.stop (agent t id)
+
+let start_all t = List.iter (fun (_, a) -> Edge.start a) (agents t)
+
+let total_feedback t =
+  List.fold_left (fun acc core -> acc + Core.feedback_sent core) 0 t.cores
+
+let total_drops t =
+  List.fold_left (fun acc link -> acc + link.Net.Link.drops) 0 t.core_links
+
+let drops_of_flow t id = Option.value ~default:0 (Hashtbl.find_opt t.drops_by_flow id)

@@ -1,0 +1,60 @@
+(** Wires a full Corelite deployment onto a topology.
+
+    Creates one {!Edge} agent per flow, attaches {!Core} logic to the
+    given core links, and connects the control plane: feedback selected
+    at a core link travels back to the marker's generating edge with the
+    reverse-path propagation delay, then lands in the flow's agent. *)
+
+type t
+
+(** A flow plus its contracted minimum rate (0 = no contract). *)
+type flow_spec = { flow : Net.Flow.t; floor : float }
+
+val spec : ?floor:float -> Net.Flow.t -> flow_spec
+
+(** [build ~params ~rng ~topology ~flows ~core_links] constructs all
+    agents and core logic. Flows are not started.
+    @raise Invalid_argument on duplicate flow ids or a core link not on
+    any flow path when delay lookup is needed later. *)
+val build :
+  params:Params.t ->
+  rng:Sim.Rng.t ->
+  topology:Net.Topology.t ->
+  flows:flow_spec list ->
+  core_links:Net.Link.t list ->
+  t
+
+(** Like {!build}, but for agents constructed by the caller (e.g. the
+    edges underlying {!Aggregate}s): only attaches the core logic and
+    wires the feedback control plane. *)
+val of_agents :
+  params:Params.t ->
+  rng:Sim.Rng.t ->
+  topology:Net.Topology.t ->
+  agents:(int, Edge.t) Hashtbl.t ->
+  core_links:Net.Link.t list ->
+  t
+
+val agent : t -> int -> Edge.t
+(** @raise Not_found for an unknown flow id. *)
+
+val agents : t -> (int * Edge.t) list
+(** Sorted by flow id. *)
+
+val cores : t -> Core.t list
+
+val start_flow : t -> int -> unit
+
+val stop_flow : t -> int -> unit
+
+val start_all : t -> unit
+
+(** Total feedback markers sent by all core links. *)
+val total_feedback : t -> int
+
+(** Total packets dropped on the core links (Corelite aims for zero). *)
+val total_drops : t -> int
+
+(** Core-link packet losses of one flow (an evaluation metric; the
+    Corelite agents themselves never react to losses). *)
+val drops_of_flow : t -> int -> int

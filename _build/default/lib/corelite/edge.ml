@@ -1,0 +1,144 @@
+let log = Logs.Src.create "corelite.edge" ~doc:"Corelite edge agents"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type t = {
+  params : Params.t;
+  topology : Net.Topology.t;
+  flow : Net.Flow.t;
+  floor : float;
+  supply : (unit -> Net.Packet.t option) option;
+  deliver : (Net.Packet.t -> unit) option;
+  mutable source : Net.Source.t option;  (* set once in [create] *)
+  marker_spacing : int;
+  feedback_by_link : (int, int) Hashtbl.t;  (* core link id -> markers this epoch *)
+  mutable data_since_marker : int;
+  mutable next_packet_id : int;
+  mutable sent : int;
+  mutable markers_attached : int;
+  mutable feedback_received : int;
+  mutable delivered : int;
+  delay : Sim.Stats.Welford.t;  (* end-to-end delay of delivered packets *)
+  delay_p99 : Sim.Stats.Quantile.t;
+}
+
+let source t = match t.source with Some s -> s | None -> assert false
+
+let flow t = t.flow
+
+let rate t = Net.Source.rate (source t)
+
+let running t = Net.Source.running (source t)
+
+let delivered t = t.delivered
+
+let mean_delay t = Sim.Stats.Welford.mean t.delay
+
+let p99_delay t = Sim.Stats.Quantile.estimate t.delay_p99
+
+let sent t = t.sent
+
+let markers_attached t = t.markers_attached
+
+let feedback_received t = t.feedback_received
+
+(* The bottleneck link dominates: react to the max feedback count from
+   any single core link, then clear the epoch's counters. *)
+let collect_max t () =
+  let m = Hashtbl.fold (fun _ count acc -> Stdlib.max count acc) t.feedback_by_link 0 in
+  Hashtbl.reset t.feedback_by_link;
+  m
+
+let emit t ~now ~rate =
+  let next_packet () =
+    match t.supply with
+    | None ->
+      t.next_packet_id <- t.next_packet_id + 1;
+      Some
+        (Net.Packet.make ~id:t.next_packet_id ~flow:t.flow.Net.Flow.id ~created:now ())
+    | Some take -> take ()
+  in
+  match next_packet () with
+  | None -> () (* application-limited aggregate: nothing to shape *)
+  | Some pkt ->
+    let weight = t.flow.Net.Flow.weight in
+    t.data_since_marker <- t.data_since_marker + 1;
+    if t.data_since_marker >= t.marker_spacing then begin
+      t.data_since_marker <- 0;
+      t.markers_attached <- t.markers_attached + 1;
+      (* The advertised normalized rate covers only the contended part
+         of the flow's rate: traffic under a contracted floor is
+         reserved capacity and must not attract selective feedback. *)
+      pkt.Net.Packet.marker <-
+        Some
+          {
+            Net.Packet.edge_id = (Net.Flow.ingress t.flow).Net.Node.id;
+            flow_id = t.flow.Net.Flow.id;
+            normalized_rate = Float.max 0. (rate -. t.floor) /. weight;
+          }
+    end;
+    t.sent <- t.sent + 1;
+    Net.Node.receive (Net.Flow.ingress t.flow) pkt
+
+let create ~params ~topology ~flow ?(floor = 0.) ?(epoch_offset = 0.) ?supply
+    ?deliver () =
+  let source_params = { params.Params.source with Net.Source.floor } in
+  let t =
+    {
+      params;
+      topology;
+      flow;
+      floor;
+      supply;
+      deliver;
+      source = None;
+      marker_spacing = Params.marker_spacing params ~weight:flow.Net.Flow.weight;
+      feedback_by_link = Hashtbl.create 4;
+      data_since_marker = 0;
+      next_packet_id = 0;
+      sent = 0;
+      markers_attached = 0;
+      feedback_received = 0;
+      delivered = 0;
+      delay = Sim.Stats.Welford.create ();
+      delay_p99 = Sim.Stats.Quantile.create ~q:0.99;
+    }
+  in
+  t.source <-
+    Some
+      (Net.Source.create ~engine:(Net.Topology.engine topology) ~epoch_offset ~params:source_params
+         ~emit:(fun ~now ~rate -> emit t ~now ~rate)
+         ~collect:(collect_max t) ());
+  t
+
+let start t =
+  let engine = Net.Topology.engine t.topology in
+  let sink pkt =
+    t.delivered <- t.delivered + 1;
+    let delay = Sim.Engine.now engine -. pkt.Net.Packet.created in
+    Sim.Stats.Welford.add t.delay delay;
+    Sim.Stats.Quantile.add t.delay_p99 delay;
+    match t.deliver with Some consume -> consume pkt | None -> ()
+  in
+  Net.Topology.install_path t.topology ~flow:t.flow.Net.Flow.id t.flow.Net.Flow.path
+    ~sink;
+  t.data_since_marker <- 0;
+  Hashtbl.reset t.feedback_by_link;
+  Net.Source.start (source t)
+
+(* Routes stay installed so that in-flight packets (and restarts) keep
+   working; only the source stops. *)
+let stop t = Net.Source.stop (source t)
+
+let set_backlogged t backlogged = Net.Source.set_active (source t) backlogged
+
+let receive_feedback t ~link_id _marker =
+  if running t then begin
+    t.feedback_received <- t.feedback_received + 1;
+    Log.debug (fun m ->
+        m "flow %d: feedback from link %d (bg=%.1f)" t.flow.Net.Flow.id link_id
+          (rate t));
+    let count = Option.value ~default:0 (Hashtbl.find_opt t.feedback_by_link link_id) in
+    Hashtbl.replace t.feedback_by_link link_id (count + 1);
+    Net.Source.signal_congestion (source t)
+  end

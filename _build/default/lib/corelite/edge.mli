@@ -1,0 +1,75 @@
+(** Corelite edge-router agent for one flow (paper Section 2, steps 1
+    and 3).
+
+    The agent shapes the flow to its allowed rate [bg(f)] (paced
+    always-backlogged source), piggybacks a marker carrying
+    [rn = bg/w] on every [Nw = K1 * w]-th data packet, and adapts
+    [bg(f)] per epoch: linear increase when no feedback arrived,
+    decrease by [beta] per feedback marker otherwise, reacting to the
+    {e maximum} of the marker counts received from any single core link
+    (the bottleneck), not their sum. *)
+
+type t
+
+(** [create ~params ~topology ~flow ?floor ()] builds a stopped agent.
+    [floor] is the contracted minimum rate (extension; default none).
+    The flow's path must already be installable in [topology]; [start]
+    installs it.
+
+    Without [supply] the agent models an always-backlogged flow and
+    synthesizes its packets. With [supply] it shapes externally queued
+    traffic instead (micro-flow aggregation, see {!Aggregate}): each
+    pacing slot takes one packet from [supply]; [None] leaves the slot
+    unused. [deliver] is invoked for every packet arriving at the
+    egress (e.g. to demultiplex micro-flows to their receivers). *)
+val create :
+  params:Params.t ->
+  topology:Net.Topology.t ->
+  flow:Net.Flow.t ->
+  ?floor:float ->
+  ?epoch_offset:float ->
+  ?supply:(unit -> Net.Packet.t option) ->
+  ?deliver:(Net.Packet.t -> unit) ->
+  unit ->
+  t
+
+val flow : t -> Net.Flow.t
+
+(** Install the flow's route and start shaping at the initial rate with
+    fresh adaptation state. Restarting after [stop] begins a new flow
+    lifetime (slow-start again). *)
+val start : t -> unit
+
+(** Stop shaping. Routes stay installed so in-flight packets still
+    reach the sink and the agent can be restarted. *)
+val stop : t -> unit
+
+(** Application backlog control for bursty sources (see
+    {!Net.Source.set_active}). *)
+val set_backlogged : t -> bool -> unit
+
+val running : t -> bool
+
+(** Current allowed transmission rate [bg(f)], pkts/s. *)
+val rate : t -> float
+
+(** Deliver a feedback marker from the core link with id [link_id]. *)
+val receive_feedback : t -> link_id:int -> Net.Packet.marker -> unit
+
+(** Data packets delivered end-to-end to this flow's egress. *)
+val delivered : t -> int
+
+(** Mean end-to-end delay of delivered packets, seconds ([0.] before
+    any delivery). Corelite's early feedback keeps queues short, so
+    this stays close to the propagation delay. *)
+val mean_delay : t -> float
+
+(** 99th-percentile end-to-end delay (P2 streaming estimate). *)
+val p99_delay : t -> float
+
+(** Data packets sent, markers attached, feedback markers received. *)
+val sent : t -> int
+
+val markers_attached : t -> int
+
+val feedback_received : t -> int

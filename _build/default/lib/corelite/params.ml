@@ -1,0 +1,32 @@
+type selector = Cache | Stateless
+
+type t = {
+  k1 : float;
+  core_epoch : float;
+  qthresh : float;
+  estimator : Congestion.spec;
+  selector : selector;
+  cache_size : int;
+  rav_gain : float;
+  wav_gain : float;
+  pw_cap : float;
+  source : Net.Source.params;
+}
+
+let default =
+  {
+    k1 = 1.;
+    core_epoch = 0.1;
+    qthresh = 8.;
+    estimator = Congestion.Mm1_cubic 0.005;
+    selector = Stateless;
+    cache_size = 512;
+    rav_gain = 0.02;
+    wav_gain = 0.25;
+    pw_cap = 1.;
+    source = Net.Source.default_params;
+  }
+
+let marker_spacing t ~weight =
+  if weight <= 0. then invalid_arg "Params.marker_spacing: weight must be positive";
+  Stdlib.max 1 (int_of_float (Float.round (t.k1 *. weight)))

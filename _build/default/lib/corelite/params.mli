@@ -1,0 +1,35 @@
+(** Corelite configuration.
+
+    Defaults are the paper's Section 4 settings: [K1 = 1], [beta = 1],
+    1 KB packets, 40-packet queues, congestion threshold 8 packets,
+    100 ms core epoch. Constants the paper leaves unspecified
+    (the cubic coefficient, cache size, EWMA gains) have sensitivity benches. *)
+
+(** Core-router marker selection mechanism. *)
+type selector =
+  | Cache  (** Section 2: circular marker cache, uniform random feedback *)
+  | Stateless
+      (** Section 3.2: running-average selective feedback without any
+          marker cache (the truly flow-stateless variant) *)
+
+type t = {
+  k1 : float;  (** marker spacing: one marker every [K1 * w] data packets *)
+  core_epoch : float;  (** congestion-detection period, seconds *)
+  qthresh : float;  (** incipient-congestion threshold, packets *)
+  estimator : Congestion.spec;  (** congestion budget function (paper: M/M/1 + cubic) *)
+  selector : selector;
+  cache_size : int;  (** marker cache capacity (Cache selector) *)
+  rav_gain : float;  (** EWMA gain of the running normalized-rate average *)
+  wav_gain : float;  (** EWMA gain of the markers-per-epoch average *)
+  pw_cap : float;
+      (** upper bound on the stateless selection probability [pw];
+          values above 1 allow multiple feedback copies per marker when
+          the budget [Fn] exceeds the marker arrival rate *)
+  source : Net.Source.params;  (** edge rate-adaptation settings *)
+}
+
+val default : t
+
+(** [marker_spacing t ~weight] is [Nw], the number of data packets
+    between markers for a flow of the given weight (at least 1). *)
+val marker_spacing : t -> weight:float -> int

@@ -1,0 +1,1 @@
+lib/csfq/csfq.ml: Core Deployment Edge Params Rate_estimator

@@ -1,0 +1,1 @@
+lib/csfq/core.ml: Float Logs Net Params Rate_estimator Sim

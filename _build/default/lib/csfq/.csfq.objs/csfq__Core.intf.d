@@ -1,0 +1,1 @@
+lib/csfq/core.mli: Net Params Sim

@@ -1,0 +1,1 @@
+lib/csfq/deployment.ml: Core Edge Hashtbl List Net Option Params Printf Sim

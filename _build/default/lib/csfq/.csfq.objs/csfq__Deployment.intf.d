@@ -1,0 +1,1 @@
+lib/csfq/deployment.mli: Core Edge Net Params Sim

@@ -1,0 +1,1 @@
+lib/csfq/edge.ml: Net Params Rate_estimator Sim

@@ -1,0 +1,1 @@
+lib/csfq/edge.mli: Net Params

@@ -1,0 +1,1 @@
+lib/csfq/params.ml: Net

@@ -1,0 +1,1 @@
+lib/csfq/rate_estimator.ml:

@@ -1,0 +1,130 @@
+let log = Logs.Src.create "csfq.core" ~doc:"CSFQ core-router logic"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type t = {
+  params : Params.t;
+  link : Net.Link.t;
+  rng : Sim.Rng.t;
+  capacity : float;  (* pkt/s *)
+  arrival : Rate_estimator.t;
+  accepted : Rate_estimator.t;
+  mutable alpha : float option;
+  mutable congested : bool;
+  mutable window_start : float;
+  mutable tmp_alpha : float;  (* max label seen while uncongested *)
+  mutable early_drops : int;
+}
+
+let link t = t.link
+
+let alpha t = t.alpha
+
+let congested t = t.congested
+
+let arrival_rate t = Rate_estimator.value t.arrival
+
+let accepted_rate t = Rate_estimator.value t.accepted
+
+let early_drops t = t.early_drops
+
+(* Fair-share update, run on every arrival after the rate estimates
+   (SIGCOMM '98 estimate_alpha). *)
+let estimate_alpha t ~now ~label =
+  let a = Rate_estimator.value t.arrival in
+  let f = Rate_estimator.value t.accepted in
+  if a >= t.capacity then begin
+    if not t.congested then begin
+      t.congested <- true;
+      t.window_start <- now
+    end
+    else if now > t.window_start +. t.params.Params.k_link then begin
+      (match t.alpha with
+      | Some alpha when f > 0. ->
+        t.alpha <- Some (alpha *. t.capacity /. f);
+        Log.debug (fun m ->
+            m "t=%.3f link %s alpha %.2f -> %.2f (A=%.1f F=%.1f)" now
+              t.link.Net.Link.name alpha
+              (alpha *. t.capacity /. f)
+              a f)
+      | Some _ -> ()
+      | None ->
+        (* First congestion before any uncongested window: bootstrap
+           from the labels seen so far. *)
+        if t.tmp_alpha > 0. then t.alpha <- Some t.tmp_alpha);
+      t.window_start <- now
+    end
+  end
+  else begin
+    if t.congested then begin
+      t.congested <- false;
+      t.window_start <- now;
+      t.tmp_alpha <- 0.
+    end
+    else begin
+      t.tmp_alpha <- Float.max t.tmp_alpha label;
+      if now > t.window_start +. t.params.Params.k_link then begin
+        t.alpha <- Some t.tmp_alpha;
+        t.window_start <- now;
+        t.tmp_alpha <- 0.
+      end
+    end
+  end
+
+let on_arrival t pkt =
+  let now = Sim.Engine.now t.link.Net.Link.engine in
+  let label = pkt.Net.Packet.label in
+  ignore (Rate_estimator.update t.arrival ~now ~amount:1.);
+  let drop_probability =
+    match t.alpha with
+    | Some alpha when label > 0. -> Float.max 0. (1. -. (alpha /. label))
+    | Some _ | None -> 0.
+  in
+  let verdict =
+    if Sim.Rng.bernoulli t.rng drop_probability then begin
+      t.early_drops <- t.early_drops + 1;
+      Net.Link.Drop
+    end
+    else begin
+      ignore (Rate_estimator.update t.accepted ~now ~amount:1.);
+      (match t.alpha with
+      | Some alpha when label > alpha -> pkt.Net.Packet.label <- alpha
+      | Some _ | None -> ());
+      Net.Link.Pass
+    end
+  in
+  estimate_alpha t ~now ~label;
+  verdict
+
+let note_overflow t =
+  match t.alpha with
+  | Some alpha -> t.alpha <- Some (alpha *. t.params.Params.overflow_penalty)
+  | None -> ()
+
+let attach ~params ~rng link =
+  if link.Net.Link.hooks <> None then
+    invalid_arg ("Csfq.Core.attach: link " ^ link.Net.Link.name ^ " already has hooks");
+  let t =
+    {
+      params;
+      link;
+      rng;
+      capacity = Net.Link.capacity_pps link;
+      arrival = Rate_estimator.create ~k:params.Params.k_link;
+      accepted = Rate_estimator.create ~k:params.Params.k_link;
+      alpha = None;
+      congested = false;
+      window_start = Sim.Engine.now link.Net.Link.engine;
+      tmp_alpha = 0.;
+      early_drops = 0;
+    }
+  in
+  link.Net.Link.hooks <-
+    Some
+      {
+        Net.Link.on_arrival = (fun pkt -> on_arrival t pkt);
+        on_queue_change = (fun _ -> ());
+      };
+  t
+
+let detach t = t.link.Net.Link.hooks <- None

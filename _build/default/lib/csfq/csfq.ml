@@ -1,0 +1,20 @@
+(** Weighted Core-Stateless Fair Queueing (Stoica, Shenker & Zhang,
+    SIGCOMM 1998) — the baseline the paper compares against.
+
+    Ingress edges estimate each flow's rate by exponential averaging
+    ({!Rate_estimator}) and label packets with the normalized rate
+    [r/w]. Core routers keep no per-flow state: they estimate the
+    link's fair share [alpha] and drop arriving packets with
+    probability [max(0, 1 - alpha/label)], relabelling survivors
+    ({!Core}). Sources adapt to losses with the same slow-start + LIMD
+    scheme as the Corelite agents ({!Edge}).
+
+    {!Deployment} wires a cloud; [~attach_cores:false] degenerates it
+    to plain loss-driven sources over whatever queue discipline the
+    links carry — the DropTail/RED/FRED/DRR related-work comparator. *)
+
+module Params = Params
+module Rate_estimator = Rate_estimator
+module Core = Core
+module Edge = Edge
+module Deployment = Deployment

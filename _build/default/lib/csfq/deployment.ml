@@ -1,0 +1,92 @@
+type flow_spec = { flow : Net.Flow.t; floor : float }
+
+let spec ?(floor = 0.) flow = { flow; floor }
+
+type t = {
+  agents : (int, Edge.t) Hashtbl.t;
+  cores : Core.t list;
+  core_links : Net.Link.t list;
+  drops_by_flow : (int, int) Hashtbl.t;
+}
+
+let build ?(attach_cores = true) ~params ~rng ~topology ~flows ~core_links () =
+  let agents = Hashtbl.create 32 in
+  let epoch = params.Params.source.Net.Source.epoch in
+  List.iter
+    (fun { flow; floor } ->
+      let id = flow.Net.Flow.id in
+      if Hashtbl.mem agents id then
+        invalid_arg (Printf.sprintf "Csfq.Deployment.build: duplicate flow %d" id);
+      (* Same timer desynchronization as the Corelite deployment. *)
+      let epoch_offset = Sim.Rng.float rng epoch in
+      Hashtbl.add agents id (Edge.create ~params ~topology ~flow ~floor ~epoch_offset ()))
+    flows;
+  let delays : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun { flow; _ } ->
+      List.iter
+        (fun link ->
+          match Net.Flow.upstream_delay flow topology link with
+          | Some d -> Hashtbl.replace delays (link.Net.Link.id, flow.Net.Flow.id) d
+          | None -> ())
+        core_links)
+    flows;
+  let engine = Net.Topology.engine topology in
+  let drops_by_flow : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let cores =
+    List.filter_map
+      (fun link ->
+        (* Only the full CSFQ scheme installs core logic; the "plain"
+           variant (DropTail/RED/FRED ablation) keeps the loss
+           notification channel but no fair-share filtering. *)
+        let core =
+          if attach_cores then Some (Core.attach ~params ~rng:(Sim.Rng.split rng) link)
+          else None
+        in
+        (* Any loss on the link is reported to the source after the
+           reverse propagation delay; buffer overflows additionally
+           shrink the fair-share estimate (CSFQ heuristic). *)
+        link.Net.Link.on_drop <-
+          Some
+            (fun reason pkt ->
+              let flow = pkt.Net.Packet.flow in
+              Hashtbl.replace drops_by_flow flow
+                (1 + Option.value ~default:0 (Hashtbl.find_opt drops_by_flow flow));
+              (match (reason, core) with
+              | Net.Link.Queue_full, Some core -> Core.note_overflow core
+              | (Net.Link.Queue_full | Net.Link.Filtered), _ -> ());
+              match Hashtbl.find_opt agents pkt.Net.Packet.flow with
+              | None -> ()
+              | Some agent ->
+                let delay =
+                  Option.value ~default:0.
+                    (Hashtbl.find_opt delays (link.Net.Link.id, pkt.Net.Packet.flow))
+                in
+                ignore
+                  (Sim.Engine.schedule engine ~delay (fun () -> Edge.note_loss agent)));
+        core)
+      core_links
+  in
+  { agents; cores; core_links; drops_by_flow }
+
+let agent t id =
+  match Hashtbl.find_opt t.agents id with
+  | Some a -> a
+  | None -> raise Not_found
+
+let agents t =
+  Hashtbl.fold (fun id a acc -> (id, a) :: acc) t.agents []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let cores t = t.cores
+
+let start_flow t id = Edge.start (agent t id)
+
+let stop_flow t id = Edge.stop (agent t id)
+
+let start_all t = List.iter (fun (_, a) -> Edge.start a) (agents t)
+
+let total_drops t =
+  List.fold_left (fun acc link -> acc + link.Net.Link.drops) 0 t.core_links
+
+let drops_of_flow t id = Option.value ~default:0 (Hashtbl.find_opt t.drops_by_flow id)

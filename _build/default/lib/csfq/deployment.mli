@@ -1,0 +1,45 @@
+(** Wires a full weighted-CSFQ deployment onto a topology: one {!Edge}
+    agent per flow, {!Core} logic on each core link, and loss
+    indications travelling back to the source agent with the
+    reverse-path propagation delay. *)
+
+type t
+
+type flow_spec = { flow : Net.Flow.t; floor : float }
+
+val spec : ?floor:float -> Net.Flow.t -> flow_spec
+
+(** [attach_cores] (default true) controls whether the CSFQ per-link
+    logic is installed. With [false] the deployment degenerates to
+    plain loss-driven adaptive sources over whatever queue discipline
+    the links carry — the DropTail/RED/FRED comparator of the
+    related-work ablation. *)
+val build :
+  ?attach_cores:bool ->
+  params:Params.t ->
+  rng:Sim.Rng.t ->
+  topology:Net.Topology.t ->
+  flows:flow_spec list ->
+  core_links:Net.Link.t list ->
+  unit ->
+  t
+
+val agent : t -> int -> Edge.t
+(** @raise Not_found for an unknown flow id. *)
+
+val agents : t -> (int * Edge.t) list
+(** Sorted by flow id. *)
+
+val cores : t -> Core.t list
+
+val start_flow : t -> int -> unit
+
+val stop_flow : t -> int -> unit
+
+val start_all : t -> unit
+
+(** Total packets lost on core links (early drops + overflows). *)
+val total_drops : t -> int
+
+(** Core-link packet losses of one flow. *)
+val drops_of_flow : t -> int -> int

@@ -1,0 +1,99 @@
+type t = {
+  topology : Net.Topology.t;
+  flow : Net.Flow.t;
+  mutable source : Net.Source.t option;  (* set once in [create] *)
+  estimator : Rate_estimator.t;
+  mutable pending_losses : int;
+  mutable next_packet_id : int;
+  mutable sent : int;
+  mutable losses : int;
+  mutable delivered : int;
+  mutable current_label : float;
+  delay : Sim.Stats.Welford.t;  (* end-to-end delay of delivered packets *)
+  delay_p99 : Sim.Stats.Quantile.t;
+}
+
+let source t = match t.source with Some s -> s | None -> assert false
+
+let flow t = t.flow
+
+let rate t = Net.Source.rate (source t)
+
+let running t = Net.Source.running (source t)
+
+let delivered t = t.delivered
+
+let mean_delay t = Sim.Stats.Welford.mean t.delay
+
+let p99_delay t = Sim.Stats.Quantile.estimate t.delay_p99
+
+let sent t = t.sent
+
+let losses t = t.losses
+
+let current_label t = t.current_label
+
+let collect_losses t () =
+  let m = t.pending_losses in
+  t.pending_losses <- 0;
+  m
+
+let emit t ~now ~rate:_ =
+  let estimated = Rate_estimator.update t.estimator ~now ~amount:1. in
+  t.current_label <- estimated /. t.flow.Net.Flow.weight;
+  t.next_packet_id <- t.next_packet_id + 1;
+  let pkt =
+    Net.Packet.make ~id:t.next_packet_id ~flow:t.flow.Net.Flow.id ~created:now ()
+  in
+  pkt.Net.Packet.label <- t.current_label;
+  t.sent <- t.sent + 1;
+  Net.Node.receive (Net.Flow.ingress t.flow) pkt
+
+let create ~params ~topology ~flow ?(floor = 0.) ?(epoch_offset = 0.) () =
+  let source_params = { params.Params.source with Net.Source.floor } in
+  let t =
+    {
+      topology;
+      flow;
+      source = None;
+      estimator = Rate_estimator.create ~k:params.Params.k_flow;
+      pending_losses = 0;
+      next_packet_id = 0;
+      sent = 0;
+      losses = 0;
+      delivered = 0;
+      current_label = 0.;
+      delay = Sim.Stats.Welford.create ();
+      delay_p99 = Sim.Stats.Quantile.create ~q:0.99;
+    }
+  in
+  t.source <-
+    Some
+      (Net.Source.create ~engine:(Net.Topology.engine topology) ~epoch_offset ~params:source_params
+         ~emit:(fun ~now ~rate -> emit t ~now ~rate)
+         ~collect:(collect_losses t) ());
+  t
+
+let start t =
+  let engine = Net.Topology.engine t.topology in
+  let sink pkt =
+    t.delivered <- t.delivered + 1;
+    let delay = Sim.Engine.now engine -. pkt.Net.Packet.created in
+    Sim.Stats.Welford.add t.delay delay;
+    Sim.Stats.Quantile.add t.delay_p99 delay
+  in
+  Net.Topology.install_path t.topology ~flow:t.flow.Net.Flow.id t.flow.Net.Flow.path
+    ~sink;
+  t.pending_losses <- 0;
+  Net.Source.start (source t)
+
+let stop t = Net.Source.stop (source t)
+
+let set_backlogged t backlogged = Net.Source.set_active (source t) backlogged
+
+let note_loss t =
+  if running t then begin
+    t.losses <- t.losses + 1;
+    t.pending_losses <- t.pending_losses + 1;
+    Net.Source.signal_congestion (source t)
+  end

@@ -1,0 +1,53 @@
+(** CSFQ edge agent for one flow.
+
+    The ingress edge estimates the flow's arrival rate by exponential
+    averaging and stamps each packet's label with the normalized rate
+    [r/w] (weighted CSFQ). Rate adaptation mirrors the Corelite agent
+    (paper Section 4: "similar rate adaptation schemes"), except that
+    the congestion indications are packet {e losses} reported back to
+    the source. *)
+
+type t
+
+val create :
+  params:Params.t ->
+  topology:Net.Topology.t ->
+  flow:Net.Flow.t ->
+  ?floor:float ->
+  ?epoch_offset:float ->
+  unit ->
+  t
+
+val flow : t -> Net.Flow.t
+
+val start : t -> unit
+
+(** Stop shaping; routes stay installed for in-flight packets. *)
+val stop : t -> unit
+
+(** Application backlog control for bursty sources (see
+    {!Net.Source.set_active}). *)
+val set_backlogged : t -> bool -> unit
+
+val running : t -> bool
+
+(** Current sending rate, pkt/s. *)
+val rate : t -> float
+
+(** Report a lost packet of this flow (one congestion indication). *)
+val note_loss : t -> unit
+
+val delivered : t -> int
+
+(** Mean end-to-end delay of delivered packets, seconds. *)
+val mean_delay : t -> float
+
+(** 99th-percentile end-to-end delay (P2 streaming estimate). *)
+val p99_delay : t -> float
+
+val sent : t -> int
+
+val losses : t -> int
+
+(** Last label stamped on an outgoing packet (normalized pkt/s). *)
+val current_label : t -> float

@@ -1,0 +1,14 @@
+type t = {
+  k_flow : float;
+  k_link : float;
+  overflow_penalty : float;
+  source : Net.Source.params;
+}
+
+let default =
+  {
+    k_flow = 0.1;
+    k_link = 0.1;
+    overflow_penalty = 0.97;
+    source = Net.Source.default_params;
+  }

@@ -1,0 +1,17 @@
+(** Weighted CSFQ configuration.
+
+    Defaults follow the paper's Section 4 comparison setup: [K] (flow
+    rate estimation) and [K_link] (aggregate/fair-share estimation
+    window) both 100 ms, and the same source adaptation constants as
+    Corelite. [overflow_penalty] is the CSFQ heuristic that shrinks the
+    fair-share estimate by a small percentage on every buffer
+    overflow. *)
+
+type t = {
+  k_flow : float;  (** flow rate estimation time constant, seconds *)
+  k_link : float;  (** fair-share estimation window, seconds *)
+  overflow_penalty : float;  (** multiplicative alpha decay per overflow *)
+  source : Net.Source.params;
+}
+
+val default : t

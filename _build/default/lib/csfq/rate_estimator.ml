@@ -1,0 +1,31 @@
+type t = {
+  k : float;
+  mutable rate : float;
+  mutable last : float option;  (* time of last arrival *)
+}
+
+let create ~k =
+  if k <= 0. then invalid_arg "Rate_estimator.create: k must be positive";
+  { k; rate = 0.; last = None }
+
+let update t ~now ~amount =
+  (match t.last with
+  | None -> t.rate <- amount /. t.k
+  | Some last ->
+    let gap = now -. last in
+    if gap <= 1e-12 then t.rate <- t.rate +. (amount /. t.k)
+    else begin
+      let decay = exp (-.gap /. t.k) in
+      t.rate <- ((1. -. decay) *. amount /. gap) +. (decay *. t.rate)
+    end);
+  t.last <- Some now;
+  t.rate
+
+let value t = t.rate
+
+let read t ~now =
+  match t.last with
+  | None -> 0.
+  | Some last ->
+    let gap = now -. last in
+    if gap <= 0. then t.rate else t.rate *. exp (-.gap /. t.k)

@@ -1,0 +1,26 @@
+(** Exponential averaging rate estimator (CSFQ, SIGCOMM '98, eq. 3).
+
+    On each arrival of [amount] units at time [now], with [T] the
+    inter-arrival gap and [K] the time constant:
+
+    [r <- (1 - e^(-T/K)) * amount/T + e^(-T/K) * r]
+
+    The time-based decay makes the estimate robust to the packet
+    inter-arrival pattern, unlike a per-packet EWMA. *)
+
+type t
+
+val create : k:float -> t
+(** @raise Invalid_argument if [k <= 0.]. *)
+
+(** Fold one arrival into the estimate and return the new rate
+    (units of [amount] per second). Simultaneous arrivals are handled
+    by the [T -> 0] limit, [r <- r + amount/K]. *)
+val update : t -> now:float -> amount:float -> float
+
+(** Current estimate without new data. *)
+val value : t -> float
+
+(** Decay the estimate to account for silence since the last arrival
+    (used when reading the estimate long after traffic stopped). *)
+val read : t -> now:float -> float

@@ -1,0 +1,1 @@
+lib/fairness/fairness.ml: Fluid Maxmin Metrics

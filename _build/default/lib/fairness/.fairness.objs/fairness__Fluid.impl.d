@@ -1,0 +1,1 @@
+lib/fairness/fluid.ml: Array Float Hashtbl List Option Printf Sim

@@ -1,0 +1,1 @@
+lib/fairness/maxmin.ml: Float Hashtbl List Option Printf

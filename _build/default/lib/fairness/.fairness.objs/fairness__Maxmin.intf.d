@@ -1,0 +1,1 @@
+lib/fairness/maxmin.mli:

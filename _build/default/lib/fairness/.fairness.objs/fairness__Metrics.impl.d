@@ -1,0 +1,1 @@
+lib/fairness/metrics.ml: Array Float List Sim

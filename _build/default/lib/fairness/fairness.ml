@@ -1,0 +1,18 @@
+(** Fairness references and metrics.
+
+    Three independent ways to know what the network {e should} do:
+
+    - {!Maxmin}: the exact weighted max-min allocation (water-filling),
+      with minimum-rate floors — the paper's "expected rates";
+    - {!Fluid}: a deterministic ODE abstraction of the Corelite control
+      loop whose fixed points are the max-min allocations — the
+      "analysis" side of the paper's claims;
+    - {!Metrics}: Jain's fairness index on normalized rates, relative
+      errors, and convergence-time detection on sampled series.
+
+    The packet simulation, the fluid model and the solver are checked
+    against each other in the test suite. *)
+
+module Maxmin = Maxmin
+module Fluid = Fluid
+module Metrics = Metrics

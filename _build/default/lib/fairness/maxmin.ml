@@ -1,0 +1,88 @@
+type demand = { flow : int; weight : float; links : int list; floor : float }
+
+let demand ?(floor = 0.) ~flow ~weight ~links () =
+  if weight <= 0. then invalid_arg "Maxmin.demand: weight must be positive";
+  if floor < 0. then invalid_arg "Maxmin.demand: negative floor";
+  if links = [] then invalid_arg "Maxmin.demand: flow traverses no link";
+  { flow; weight; links; floor }
+
+let epsilon = 1e-9
+
+let solve ~capacities ~demands =
+  let capacity : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (id, c) ->
+      if c <= 0. then invalid_arg "Maxmin.solve: non-positive capacity";
+      Hashtbl.replace capacity id c)
+    capacities;
+  let remaining = Hashtbl.copy capacity in
+  let check_link id =
+    if not (Hashtbl.mem capacity id) then
+      invalid_arg (Printf.sprintf "Maxmin.solve: unknown link %d" id)
+  in
+  List.iter (fun d -> List.iter check_link d.links) demands;
+  (* Grant contracted floors first; they must be admissible. *)
+  let take_on_path d amount =
+    List.iter
+      (fun id ->
+        let c = Hashtbl.find remaining id -. amount in
+        Hashtbl.replace remaining id c)
+      d.links
+  in
+  List.iter (fun d -> take_on_path d d.floor) demands;
+  Hashtbl.iter
+    (fun id c ->
+      if c < -.epsilon then
+        invalid_arg (Printf.sprintf "Maxmin.solve: floors oversubscribe link %d" id))
+    remaining;
+  (* Water-filling on the residual capacity. *)
+  let alloc : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let active = ref demands in
+  while !active <> [] do
+    (* Per-unit-weight share every link could still give its active flows. *)
+    let weight_on : (int, float) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun d ->
+        List.iter
+          (fun id ->
+            let w = Option.value ~default:0. (Hashtbl.find_opt weight_on id) in
+            Hashtbl.replace weight_on id (w +. d.weight))
+          d.links)
+      !active;
+    let bottleneck_share =
+      Hashtbl.fold
+        (fun id w acc ->
+          if w <= 0. then acc
+          else begin
+            let share = Float.max 0. (Hashtbl.find remaining id) /. w in
+            match acc with
+            | None -> Some share
+            | Some best -> Some (Float.min best share)
+          end)
+        weight_on None
+    in
+    let share = match bottleneck_share with Some s -> s | None -> assert false in
+    (* Freeze every flow crossing a link that saturates at this level. *)
+    let saturated id =
+      let w = Option.value ~default:0. (Hashtbl.find_opt weight_on id) in
+      w > 0. && Float.max 0. (Hashtbl.find remaining id) /. w <= share +. epsilon
+    in
+    let frozen, still_active =
+      List.partition (fun d -> List.exists saturated d.links) !active
+    in
+    (* At least the bottleneck link's flows freeze, so this terminates. *)
+    assert (frozen <> []);
+    List.iter
+      (fun d ->
+        let rate = d.weight *. share in
+        Hashtbl.replace alloc d.flow (d.floor +. rate);
+        take_on_path d rate)
+      frozen;
+    active := still_active
+  done;
+  List.map (fun d -> (d.flow, Hashtbl.find alloc d.flow)) demands
+
+let single_link_share ~capacity ~weights =
+  let total = List.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Maxmin.single_link_share: no weight";
+  capacity /. total

@@ -1,0 +1,34 @@
+(** Weighted max-min fair allocation (water-filling).
+
+    Reference solver for the service model of the paper (Section 2.1):
+    an allocation vector [b] is weighted max-min fair iff increasing any
+    [b(i)] forces decreasing some [b(j)] with
+    [b(j)/w(j) <= b(i)/w(i)]. Used to compute the "expected rates" the
+    evaluation compares simulation output against. *)
+
+type demand = {
+  flow : int;
+  weight : float;
+  links : int list;  (** ids of the links the flow traverses *)
+  floor : float;  (** contracted minimum rate; [0.] when none *)
+}
+
+val demand : ?floor:float -> flow:int -> weight:float -> links:int list -> unit -> demand
+
+(** [solve ~capacities ~demands] returns the weighted max-min rate of
+    every demand, in the same order as [demands]. [capacities] maps link
+    id to capacity (any rate unit; output is in the same unit).
+
+    Floors implement the minimum-rate-contract extension: each flow is
+    first granted its floor, and the remaining capacity is shared
+    weighted max-min. Floors that oversubscribe a link raise
+    [Invalid_argument] (admission control must reject such contracts).
+
+    @raise Invalid_argument on unknown link ids, non-positive
+    capacities, or oversubscribed floors. *)
+val solve : capacities:(int * float) list -> demands:demand list -> (int * float) list
+
+(** Per-unit-weight share of the single bottleneck [capacity] split
+    among [weights] — the paper's hand-calculation helper
+    (e.g. 500 pkt/s over total weight 15 = 33.33). *)
+val single_link_share : capacity:float -> weights:float list -> float

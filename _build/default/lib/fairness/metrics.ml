@@ -1,0 +1,82 @@
+let jain_index ~rates ~weights =
+  let n = Array.length rates in
+  if n <> Array.length weights then
+    invalid_arg "Metrics.jain_index: length mismatch";
+  if n = 0 then 1.
+  else begin
+    let sum = ref 0. and sum_sq = ref 0. in
+    for i = 0 to n - 1 do
+      if weights.(i) <= 0. then invalid_arg "Metrics.jain_index: non-positive weight";
+      let z = rates.(i) /. weights.(i) in
+      sum := !sum +. z;
+      sum_sq := !sum_sq +. (z *. z)
+    done;
+    if !sum_sq = 0. then 1.
+    else !sum *. !sum /. (float_of_int n *. !sum_sq)
+  end
+
+let mean_relative_error ~measured ~expected =
+  let n = Array.length measured in
+  if n <> Array.length expected then
+    invalid_arg "Metrics.mean_relative_error: length mismatch";
+  let sum = ref 0. and count = ref 0 in
+  for i = 0 to n - 1 do
+    if expected.(i) <> 0. then begin
+      sum := !sum +. (Float.abs (measured.(i) -. expected.(i)) /. Float.abs expected.(i));
+      incr count
+    end
+  done;
+  if !count = 0 then 0. else !sum /. float_of_int !count
+
+let converged ~tolerance ~measured ~expected =
+  let n = Array.length measured in
+  if n <> Array.length expected then invalid_arg "Metrics.converged: length mismatch";
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let bound = tolerance *. Float.abs expected.(i) in
+    if Float.abs (measured.(i) -. expected.(i)) > bound then ok := false
+  done;
+  !ok
+
+let convergence_time ~tolerance ~hold series =
+  match series with
+  | [] -> Some 0.
+  | (first, _) :: _ ->
+    let samples = Sim.Timeseries.to_array first in
+    let n = Array.length samples in
+    if n = 0 then None
+    else begin
+      let all = List.map (fun (ts, exp) -> (Sim.Timeseries.to_array ts, exp)) series in
+      let within i =
+        List.for_all
+          (fun (points, expected) ->
+            i < Array.length points
+            &&
+            let _, v = points.(i) in
+            Float.abs (v -. expected) <= tolerance *. Float.abs expected)
+          all
+      in
+      (* Earliest index from which [within] holds for [hold] seconds. *)
+      let result = ref None in
+      let run_start = ref None in
+      let i = ref 0 in
+      while !result = None && !i < n do
+        let t, _ = samples.(!i) in
+        if within !i then begin
+          (match !run_start with None -> run_start := Some t | Some _ -> ());
+          match !run_start with
+          | Some t0 when t -. t0 >= hold -> result := Some t0
+          | _ -> ()
+        end
+        else run_start := None;
+        incr i
+      done;
+      (* A run reaching the end of the series with insufficient length
+         still counts if it lasts until the final sample and the series
+         simply ends; we require the full hold window, so it does not. *)
+      !result
+    end
+
+let utilization ~rates ~capacity =
+  if capacity <= 0. then invalid_arg "Metrics.utilization: non-positive capacity";
+  Array.fold_left ( +. ) 0. rates /. capacity

@@ -1,0 +1,32 @@
+(** Fairness and convergence metrics for evaluation runs. *)
+
+(** Jain's fairness index of the normalized rates [x_i / w_i]:
+    [(sum z)^2 / (n * sum z^2)]. 1.0 means perfectly weighted-fair.
+    Returns 1.0 for an empty input.
+    @raise Invalid_argument if lengths differ or a weight is not
+    positive. *)
+val jain_index : rates:float array -> weights:float array -> float
+
+(** Mean relative error of [measured] against [expected], ignoring
+    entries whose expected value is zero. *)
+val mean_relative_error : measured:float array -> expected:float array -> float
+
+(** [converged ~tolerance ~measured ~expected] is true when every
+    measured rate is within the relative [tolerance] of its expected
+    value. *)
+val converged : tolerance:float -> measured:float array -> expected:float array -> bool
+
+(** [convergence_time ~tolerance ~hold series_with_expected] scans
+    per-flow time series (all sampled on the same time grid) and returns
+    the earliest sample time from which every flow stays within
+    [tolerance] of its expected rate for at least [hold] seconds
+    continuously. [None] if that never happens. *)
+val convergence_time :
+  tolerance:float ->
+  hold:float ->
+  (Sim.Timeseries.t * float) list ->
+  float option
+
+(** Total weighted-fair throughput utilization of a link: sum of rates
+    over capacity. *)
+val utilization : rates:float array -> capacity:float -> float

@@ -1,0 +1,1 @@
+lib/net/net.ml: Flow Link Node Onoff Packet Probe Qdisc Routing Source Tcp Topology

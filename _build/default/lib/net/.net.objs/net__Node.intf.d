@@ -1,0 +1,1 @@
+lib/net/node.mli: Hashtbl Link Packet

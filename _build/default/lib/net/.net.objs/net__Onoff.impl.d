@@ -1,0 +1,1 @@
+lib/net/onoff.ml: Sim

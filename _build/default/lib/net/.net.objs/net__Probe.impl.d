@@ -1,0 +1,1 @@
+lib/net/probe.ml: Link Printf Sim

@@ -1,0 +1,1 @@
+lib/net/probe.mli: Link Sim

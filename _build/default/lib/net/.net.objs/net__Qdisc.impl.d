@@ -1,0 +1,1 @@
+lib/net/qdisc.ml: Array Float Hashtbl Option Packet Queue Sim Stdlib

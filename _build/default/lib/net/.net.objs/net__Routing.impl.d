@@ -1,0 +1,1 @@
+lib/net/routing.ml: Hashtbl Link List Node Option Sim Topology

@@ -1,0 +1,1 @@
+lib/net/source.mli: Sim

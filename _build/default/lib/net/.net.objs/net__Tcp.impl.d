@@ -1,0 +1,1 @@
+lib/net/tcp.ml: Float Hashtbl Packet Sim

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Hashtbl Link List Node Printf Sim

@@ -1,0 +1,24 @@
+type t = { id : int; weight : float; path : Node.t list }
+
+let make ~id ~weight ~path =
+  if weight <= 0. then invalid_arg "Flow.make: weight must be positive";
+  if List.length path < 2 then invalid_arg "Flow.make: path needs >= 2 nodes";
+  { id; weight; path }
+
+let ingress t = List.hd t.path
+
+let egress t =
+  match List.rev t.path with
+  | last :: _ -> last
+  | [] -> assert false
+
+let links t topology = Topology.path_links topology t.path
+
+let upstream_delay t topology link =
+  let rec walk acc = function
+    | hop :: rest ->
+      if hop.Link.id = link.Link.id then Some acc
+      else walk (acc +. hop.Link.delay) rest
+    | [] -> None
+  in
+  walk 0. (links t topology)

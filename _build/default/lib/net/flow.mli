@@ -1,0 +1,25 @@
+(** Edge-to-edge flows.
+
+    A flow is the paper's unit of service: it enters the cloud at an
+    ingress edge router, follows a fixed path of nodes, and leaves at an
+    egress edge router. Its [weight] is the rate weight of the flow's
+    rate class. *)
+
+type t = { id : int; weight : float; path : Node.t list }
+
+val make : id:int -> weight:float -> path:Node.t list -> t
+(** @raise Invalid_argument on a non-positive weight or a path shorter
+    than two nodes. *)
+
+val ingress : t -> Node.t
+
+val egress : t -> Node.t
+
+(** Links the flow traverses, in path order. *)
+val links : t -> Topology.t -> Link.t list
+
+(** Propagation delay from [link]'s upstream node back to the flow's
+    ingress edge, assuming symmetric links: the sum of delays of the
+    path links upstream of [link]. [None] if the flow does not traverse
+    [link]. Used to time control-plane feedback and loss indications. *)
+val upstream_delay : t -> Topology.t -> Link.t -> float option

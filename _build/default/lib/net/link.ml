@@ -1,0 +1,90 @@
+type verdict = Pass | Drop
+
+type drop_reason = Filtered | Queue_full
+
+type hooks = {
+  on_arrival : Packet.t -> verdict;
+  on_queue_change : int -> unit;
+}
+
+type t = {
+  id : int;
+  name : string;
+  src : int;
+  dst : int;
+  bandwidth : float;
+  delay : float;
+  qdisc : Qdisc.t;
+  engine : Sim.Engine.t;
+  mutable busy : bool;
+  mutable hooks : hooks option;
+  mutable on_drop : (drop_reason -> Packet.t -> unit) option;
+  mutable deliver : Packet.t -> unit;
+  mutable arrivals : int;
+  mutable departures : int;
+  mutable drops : int;
+  mutable bytes_sent : int;
+}
+
+let create ~engine ~id ~name ~src ~dst ~bandwidth ~delay ~qdisc =
+  if bandwidth <= 0. then invalid_arg "Link.create: bandwidth must be positive";
+  if delay < 0. then invalid_arg "Link.create: negative delay";
+  {
+    id;
+    name;
+    src;
+    dst;
+    bandwidth;
+    delay;
+    qdisc;
+    engine;
+    busy = false;
+    hooks = None;
+    on_drop = None;
+    deliver = (fun _ -> failwith ("Link " ^ name ^ ": deliver not wired"));
+    arrivals = 0;
+    departures = 0;
+    drops = 0;
+    bytes_sent = 0;
+  }
+
+let capacity_pps t = t.bandwidth /. float_of_int (8 * Packet.default_size)
+
+let queue_length t = t.qdisc.Qdisc.length ()
+
+let notify_queue_change t =
+  match t.hooks with
+  | Some h -> h.on_queue_change (queue_length t)
+  | None -> ()
+
+let drop t reason pkt =
+  t.drops <- t.drops + 1;
+  match t.on_drop with Some f -> f reason pkt | None -> ()
+
+let rec start_transmission t =
+  match t.qdisc.Qdisc.dequeue () with
+  | None -> t.busy <- false
+  | Some pkt ->
+    t.busy <- true;
+    notify_queue_change t;
+    let tx_time = float_of_int (8 * pkt.Packet.size) /. t.bandwidth in
+    let on_tx_done () =
+      t.departures <- t.departures + 1;
+      t.bytes_sent <- t.bytes_sent + pkt.Packet.size;
+      let arrive () = t.deliver pkt in
+      ignore (Sim.Engine.schedule t.engine ~delay:t.delay arrive);
+      start_transmission t
+    in
+    ignore (Sim.Engine.schedule t.engine ~delay:tx_time on_tx_done)
+
+let send t pkt =
+  t.arrivals <- t.arrivals + 1;
+  let verdict = match t.hooks with Some h -> h.on_arrival pkt | None -> Pass in
+  match verdict with
+  | Drop -> drop t Filtered pkt
+  | Pass -> (
+    match t.qdisc.Qdisc.enqueue pkt with
+    | Qdisc.Dropped -> drop t Queue_full pkt
+    | Qdisc.Enqueued ->
+      notify_queue_change t;
+      if not t.busy then start_transmission t)

@@ -1,0 +1,66 @@
+(** Unidirectional store-and-forward link.
+
+    A link serializes packets at [bandwidth] bits/s out of its queue
+    discipline, then delays each packet by [delay] seconds of propagation
+    before handing it to the downstream node. Hooks let per-link router
+    logic (Corelite core, CSFQ core) observe arrivals and queue changes
+    and veto admission. *)
+
+type verdict = Pass | Drop
+
+(** Why a packet was lost: rejected by the admission hooks (e.g. a CSFQ
+    probabilistic drop) or refused by the queue discipline (buffer
+    overflow or an early AQM drop). *)
+type drop_reason = Filtered | Queue_full
+
+type hooks = {
+  on_arrival : Packet.t -> verdict;
+      (** Runs before the queue discipline; may mutate the packet
+          (e.g. CSFQ relabelling) or reject it. *)
+  on_queue_change : int -> unit;
+      (** Called with the new number of waiting packets after every
+          enqueue or dequeue. *)
+}
+
+type t = {
+  id : int;
+  name : string;
+  src : int;  (** upstream node id *)
+  dst : int;  (** downstream node id *)
+  bandwidth : float;  (** bits/s *)
+  delay : float;  (** propagation, seconds *)
+  qdisc : Qdisc.t;
+  engine : Sim.Engine.t;
+  mutable busy : bool;
+  mutable hooks : hooks option;
+  mutable on_drop : (drop_reason -> Packet.t -> unit) option;
+      (** Fires for every packet lost on this link, whether rejected by
+          the hooks ([Filtered]) or by the queue discipline
+          ([Queue_full]). *)
+  mutable deliver : Packet.t -> unit;  (** set when the topology is wired *)
+  mutable arrivals : int;
+  mutable departures : int;
+  mutable drops : int;
+  mutable bytes_sent : int;
+}
+
+val create :
+  engine:Sim.Engine.t ->
+  id:int ->
+  name:string ->
+  src:int ->
+  dst:int ->
+  bandwidth:float ->
+  delay:float ->
+  qdisc:Qdisc.t ->
+  t
+
+(** Submit a packet for transmission. Runs hooks, enqueues (or drops),
+    and starts the transmitter if idle. *)
+val send : t -> Packet.t -> unit
+
+(** Service rate in packets/s for [Packet.default_size] packets. *)
+val capacity_pps : t -> float
+
+(** Packets currently waiting (excluding the one being serialized). *)
+val queue_length : t -> int

@@ -1,0 +1,47 @@
+(** Packet-level network substrate — the ns-2 replacement.
+
+    Store-and-forward links with transmission and propagation delay,
+    pluggable queue disciplines, per-flow static routing over explicit
+    topologies, shortest-path routing for generated ones, and the
+    traffic endpoints the evaluation needs: rate-adaptive paced sources
+    (the edge agents' engine), on/off burst drivers, unresponsive
+    blasters (see {!Workload.Blaster}) and a Reno-style TCP.
+
+    Scheme logic (Corelite, CSFQ) stays out of this layer: links expose
+    {!Link.hooks} for admission/observation and [on_drop] for loss
+    notification, and the schemes plug in from above. *)
+
+(** Packets: fixed-size data units carrying optional Corelite markers,
+    CSFQ labels and micro-flow ids. *)
+module Packet = Packet
+
+(** Queue disciplines: DropTail, RED, FRED, classful multi-queue,
+    per-flow DRR. *)
+module Qdisc = Qdisc
+
+(** Unidirectional store-and-forward links with scheme hooks. *)
+module Link = Link
+
+(** Forwarding nodes (edge and core routers). *)
+module Node = Node
+
+(** Topology container and per-flow path installation. *)
+module Topology = Topology
+
+(** Edge-to-edge flows (id, weight, node path). *)
+module Flow = Flow
+
+(** Delay-shortest paths over a topology. *)
+module Routing = Routing
+
+(** The shared rate-adaptive paced source (slow-start + LIMD). *)
+module Source = Source
+
+(** Exponential/Pareto on-off drivers for bursty traffic. *)
+module Onoff = Onoff
+
+(** Reno-style TCP sender and receiver. *)
+module Tcp = Tcp
+
+(** Per-link observation: queue/throughput/drop series. *)
+module Probe = Probe

@@ -1,0 +1,29 @@
+type kind = Edge | Core
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  routes : (int, Link.t) Hashtbl.t;
+  sinks : (int, Packet.t -> unit) Hashtbl.t;
+}
+
+let create ~id ~name ~kind =
+  { id; name; kind; routes = Hashtbl.create 16; sinks = Hashtbl.create 16 }
+
+let set_route t ~flow link = Hashtbl.replace t.routes flow link
+
+let set_sink t ~flow consume = Hashtbl.replace t.sinks flow consume
+
+let receive t pkt =
+  let flow = pkt.Packet.flow in
+  match Hashtbl.find_opt t.routes flow with
+  | Some link -> Link.send link pkt
+  | None -> (
+    match Hashtbl.find_opt t.sinks flow with
+    | Some consume -> consume pkt
+    | None ->
+      failwith
+        (Printf.sprintf "Node %s: no route or sink for flow %d" t.name flow))
+
+let is_edge t = t.kind = Edge

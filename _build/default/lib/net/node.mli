@@ -1,0 +1,29 @@
+(** Network nodes (edge routers, core routers).
+
+    Forwarding is per-flow static routing: every node on a flow's path
+    holds a route entry mapping the flow id to an output link, and the
+    egress node holds a sink callback that consumes delivered packets.
+    Core routers never consult per-flow QoS state — the route table is
+    the standard forwarding function the paper assumes. *)
+
+type kind = Edge | Core
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  routes : (int, Link.t) Hashtbl.t;  (** flow id -> output link *)
+  sinks : (int, Packet.t -> unit) Hashtbl.t;  (** flow id -> egress consumer *)
+}
+
+val create : id:int -> name:string -> kind:kind -> t
+
+val set_route : t -> flow:int -> Link.t -> unit
+
+val set_sink : t -> flow:int -> (Packet.t -> unit) -> unit
+
+(** Forward a packet: route entry if present, else sink entry.
+    @raise Failure if the node knows nothing about the packet's flow. *)
+val receive : t -> Packet.t -> unit
+
+val is_edge : t -> bool

@@ -1,0 +1,50 @@
+type distribution = Exponential | Pareto of float
+
+type t = {
+  engine : Sim.Engine.t;
+  rng : Sim.Rng.t;
+  distribution : distribution;
+  on_mean : float;
+  off_mean : float;
+  set : bool -> unit;
+  mutable stopped : bool;
+  mutable transitions : int;
+}
+
+let rec flip t state () =
+  if not t.stopped then begin
+    t.set state;
+    t.transitions <- t.transitions + 1;
+    let mean = if state then t.on_mean else t.off_mean in
+    let hold =
+      match t.distribution with
+      | Exponential -> Sim.Rng.exponential t.rng ~mean
+      | Pareto shape -> Sim.Rng.pareto t.rng ~shape ~mean
+    in
+    ignore (Sim.Engine.schedule t.engine ~delay:hold (flip t (not state)))
+  end
+
+let start ~engine ~rng ?(distribution = Exponential) ~on_mean ~off_mean set =
+  if on_mean <= 0. || off_mean <= 0. then
+    invalid_arg "Onoff.start: means must be positive";
+  (match distribution with
+  | Pareto shape when shape <= 1. -> invalid_arg "Onoff.start: Pareto shape must exceed 1"
+  | Pareto _ | Exponential -> ());
+  let t =
+    {
+      engine;
+      rng;
+      distribution;
+      on_mean;
+      off_mean;
+      set;
+      stopped = false;
+      transitions = -1;
+    }
+  in
+  flip t true ();
+  t
+
+let stop t = t.stopped <- true
+
+let transitions t = t.transitions

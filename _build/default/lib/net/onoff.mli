@@ -1,0 +1,34 @@
+(** Exponential on/off driver for bursty (application-limited) traffic.
+
+    Toggles a boolean control — typically {!Source.set_active} — between
+    "on" periods of mean [on_mean] seconds and "off" periods of mean
+    [off_mean] seconds, both exponentially distributed. The evaluation
+    uses it to reproduce the paper's claim that marker feedback is
+    "fairly insensitive to bursty flows". *)
+
+type t
+
+(** Period length distribution: exponential (Markovian bursts) or
+    Pareto with the given tail index (heavy-tailed, long-range
+    dependent aggregate — the classic ns-2 on/off model). *)
+type distribution = Exponential | Pareto of float
+
+(** [start ~engine ~rng ~on_mean ~off_mean set] begins in the "on"
+    state (calls [set true] immediately). [distribution] defaults to
+    {!Exponential}.
+    @raise Invalid_argument on non-positive means or a Pareto shape
+    of at most 1. *)
+val start :
+  engine:Sim.Engine.t ->
+  rng:Sim.Rng.t ->
+  ?distribution:distribution ->
+  on_mean:float ->
+  off_mean:float ->
+  (bool -> unit) ->
+  t
+
+(** Stop toggling (leaves the control in its current state). *)
+val stop : t -> unit
+
+(** Number of completed on/off transitions. *)
+val transitions : t -> int

@@ -1,0 +1,33 @@
+(** Link probes: periodic time series of a link's queue occupancy,
+    throughput and loss — the observability behind "incipient
+    congestion" plots (queue hovering near the threshold under
+    Corelite vs slamming into the buffer limit under loss-driven
+    schemes).
+
+    Probes read only the link's public counters; they never install
+    hooks, so they coexist with any scheme's core logic. *)
+
+type t
+
+(** [attach ~engine ~period link] starts sampling. The first sample is
+    taken at [period]. @raise Invalid_argument if [period <= 0]. *)
+val attach : engine:Sim.Engine.t -> period:float -> Link.t -> t
+
+(** Queue length (packets waiting) at each sample instant. *)
+val queue_series : t -> Sim.Timeseries.t
+
+(** Departures per second over each sample period. *)
+val throughput_series : t -> Sim.Timeseries.t
+
+(** Drops per second over each sample period. *)
+val drop_series : t -> Sim.Timeseries.t
+
+(** Mean link utilization (throughput over capacity) across the probe's
+    lifetime so far; [0.] before the first sample. *)
+val mean_utilization : t -> float
+
+(** Largest queue length seen at a sample instant. *)
+val peak_queue : t -> int
+
+(** Stop sampling (series remain readable). *)
+val detach : t -> unit

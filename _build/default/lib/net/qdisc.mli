@@ -1,0 +1,81 @@
+(** Queue disciplines for link output queues.
+
+    A queue discipline owns the buffer of packets waiting for
+    transmission (the packet currently being serialized on the link is
+    not counted). The Corelite and CSFQ experiments use {!droptail} with
+    a 40-packet buffer (paper Section 4); {!red} and {!fred} implement
+    the related-work comparators of Section 5 for the ablation benches. *)
+
+type action = Enqueued | Dropped
+
+type t = {
+  enqueue : Packet.t -> action;
+  dequeue : unit -> Packet.t option;
+  length : unit -> int;  (** packets waiting *)
+  bytes : unit -> int;  (** bytes waiting *)
+  kind : string;
+}
+
+(** FIFO with tail drop when more than [capacity] packets wait. *)
+val droptail : capacity:int -> t
+
+type red_params = {
+  capacity : int;  (** hard buffer limit, packets *)
+  min_thresh : float;  (** packets *)
+  max_thresh : float;  (** packets *)
+  max_p : float;  (** drop probability at [max_thresh] *)
+  queue_weight : float;  (** EWMA gain for the average queue size *)
+  mean_pkt_time : float;  (** typical transmission time, for the idle
+                              correction (seconds) *)
+}
+
+val default_red_params : red_params
+
+(** Random Early Detection (Floyd & Jacobson 1993): drops arriving
+    packets with a probability that grows with the EWMA of the queue
+    length. [now] supplies the current time for the idle-period
+    correction of the average. *)
+val red : ?params:red_params -> rng:Sim.Rng.t -> now:(unit -> float) -> unit -> t
+
+(** Flow Random Early Drop (Lin & Morris 1997): RED plus per-flow
+    accounting for flows that have packets buffered, bounding each
+    flow's buffer occupancy around the per-flow fair share. *)
+val fred : ?params:red_params -> ?minq:int -> rng:Sim.Rng.t -> now:(unit -> float) -> unit -> t
+
+(** Deficit Round Robin (Shreedhar & Varghese 1995) with per-flow
+    queues and weighted quanta — the state-intensive scheduler that
+    achieves weighted fair queueing approximately; the comparison
+    baseline for what Corelite approximates {e without} per-flow
+    state. [weight] maps a flow id to its rate weight (quantum =
+    [weight * quantum_unit] bytes); each flow's queue holds at most
+    [capacity] packets.
+    @raise Invalid_argument on non-positive capacity or quantum. *)
+val drr :
+  weight:(int -> float) ->
+  ?quantum_unit:int ->
+  capacity:int ->
+  unit ->
+  t
+
+(** How a multi-queue (classful) discipline picks the next class. *)
+type scheduler =
+  | Priority  (** strict priority: lowest class index first *)
+  | Weighted_round_robin of int array
+      (** per-class quantum in packets; classes are visited cyclically *)
+
+(** Multi-queue link discipline — the paper notes core routers "may
+    have multiple packet queues depending on [their] forwarding
+    behavior" while congestion detection uses only the aggregate
+    backlog, which is what [length]/[bytes] report. [classify] maps a
+    packet to its class in [0, classes); each class has its own
+    [capacity]-packet DropTail buffer.
+    @raise Invalid_argument on nonsensical class counts, capacities or
+    quanta, and when a WRR quantum array length differs from
+    [classes]. *)
+val classful :
+  classes:int ->
+  classify:(Packet.t -> int) ->
+  scheduler:scheduler ->
+  capacity:int ->
+  unit ->
+  t

@@ -1,0 +1,16 @@
+(** Shortest-path routing over a topology.
+
+    Flow paths in the evaluation scenarios are explicit (the paper's
+    Topology 1 pins each flow's route); this module computes paths for
+    generated topologies: Dijkstra over the directed link graph,
+    minimizing total propagation delay with hop count as tie-breaker. *)
+
+(** [shortest_path topology ~src ~dst] is the minimum-delay node path
+    from [src] to [dst] (inclusive), or [None] if [dst] is
+    unreachable. *)
+val shortest_path : Topology.t -> src:Node.t -> dst:Node.t -> Node.t list option
+
+(** All-destinations variant: one Dijkstra run from [src]; the returned
+    function maps a destination node to its path. Cheaper when routing
+    many flows out of the same edge. *)
+val paths_from : Topology.t -> src:Node.t -> Node.t -> Node.t list option

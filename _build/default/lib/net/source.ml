@@ -1,0 +1,156 @@
+type params = {
+  initial_rate : float;
+  min_rate : float;
+  alpha : float;
+  beta : float;
+  epoch : float;
+  ss_thresh : float;
+  ss_period : float;
+  floor : float;
+}
+
+let default_params =
+  {
+    initial_rate = 1.;
+    min_rate = 0.5;
+    alpha = 1.;
+    beta = 1.;
+    epoch = 0.5;
+    ss_thresh = 32.;
+    ss_period = 1.;
+    floor = 0.;
+  }
+
+type phase = Slow_start | Linear
+
+type t = {
+  engine : Sim.Engine.t;
+  params : params;
+  epoch_offset : float;
+  emit : now:float -> rate:float -> unit;
+  collect : unit -> int;
+  mutable rate : float;
+  mutable phase : phase;
+  mutable running : bool;
+  mutable active : bool;  (* application has data to send *)
+  mutable emitted : int;
+  mutable pacing : Sim.Engine.handle option;
+  mutable epoch_timer : Sim.Engine.handle option;
+  mutable ss_timer : Sim.Engine.handle option;
+}
+
+let create ~engine ?(epoch_offset = 0.) ~params ~emit ~collect () =
+  if params.initial_rate <= 0. then invalid_arg "Source.create: initial_rate";
+  if params.epoch <= 0. then invalid_arg "Source.create: epoch";
+  if epoch_offset < 0. || epoch_offset >= params.epoch then
+    invalid_arg "Source.create: epoch_offset out of [0, epoch)";
+  {
+    engine;
+    params;
+    epoch_offset;
+    emit;
+    collect;
+    rate = params.initial_rate;
+    phase = Slow_start;
+    running = false;
+    active = true;
+    emitted = 0;
+    pacing = None;
+    epoch_timer = None;
+    ss_timer = None;
+  }
+
+let rate t = t.rate
+
+let phase t = t.phase
+
+let running t = t.running
+
+let emitted t = t.emitted
+
+let rate_floor t = Float.max t.params.min_rate t.params.floor
+
+let exit_slow_start t =
+  if t.phase = Slow_start then begin
+    (* The halving is the response to any indication received so far;
+       flush the pending count so it is not charged again at epoch end. *)
+    ignore (t.collect ());
+    t.rate <- Float.max (rate_floor t) (t.rate /. 2.);
+    t.phase <- Linear;
+    match t.ss_timer with
+    | Some h ->
+      Sim.Engine.cancel h;
+      t.ss_timer <- None
+    | None -> ()
+  end
+
+let signal_congestion t = if t.running then exit_slow_start t
+
+let on_epoch t () =
+  let m = t.collect () in
+  (* An application-limited (idle) source neither probes for more rate
+     nor reacts: there is nothing to pace. *)
+  if t.active then
+    match t.phase with
+    | Slow_start ->
+      (* Feedback during slow-start already triggered
+         [signal_congestion] via the agent; a residual count here means
+         the agent relies on epoch collection only, so honor it. *)
+      if m > 0 then exit_slow_start t
+    | Linear ->
+      if m = 0 then t.rate <- t.rate +. t.params.alpha
+      else
+        t.rate <- Float.max (rate_floor t) (t.rate -. (t.params.beta *. float_of_int m))
+
+let on_ss_tick t () =
+  if t.phase = Slow_start then begin
+    t.rate <- t.rate *. 2.;
+    if t.rate > t.params.ss_thresh then exit_slow_start t
+  end
+
+let rec send_one t () =
+  if t.running then begin
+    if t.active then begin
+      t.emitted <- t.emitted + 1;
+      t.emit ~now:(Sim.Engine.now t.engine) ~rate:t.rate
+    end;
+    let interval = 1. /. Float.max t.rate 1e-6 in
+    t.pacing <- Some (Sim.Engine.schedule t.engine ~delay:interval (send_one t))
+  end
+
+let set_active t active = t.active <- active
+
+let active t = t.active
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    let cancel = function Some h -> Sim.Engine.cancel h | None -> () in
+    cancel t.pacing;
+    cancel t.epoch_timer;
+    cancel t.ss_timer;
+    t.pacing <- None;
+    t.epoch_timer <- None;
+    t.ss_timer <- None
+  end
+
+let start t =
+  stop t;
+  ignore (t.collect ());
+  (* A contracted floor is reserved capacity: the flow starts there. *)
+  t.rate <- Float.max t.params.initial_rate t.params.floor;
+  t.phase <- (if t.rate >= t.params.ss_thresh then Linear else Slow_start);
+  t.running <- true;
+  let now = Sim.Engine.now t.engine in
+  t.epoch_timer <-
+    Some
+      (Sim.Engine.every t.engine
+         ~start:(now +. t.params.epoch +. t.epoch_offset)
+         ~period:t.params.epoch (on_epoch t));
+  if t.phase = Slow_start then
+    t.ss_timer <-
+      Some
+        (Sim.Engine.every t.engine
+           ~start:(now +. t.params.ss_period +. t.epoch_offset)
+           ~period:t.params.ss_period (on_ss_tick t));
+  send_one t ()

@@ -1,0 +1,92 @@
+type t = {
+  engine : Sim.Engine.t;
+  mutable nodes_rev : Node.t list;
+  mutable links_rev : Link.t list;
+  by_name : (string, Node.t) Hashtbl.t;
+  link_index : (int * int, Link.t) Hashtbl.t;
+  mutable next_node_id : int;
+  mutable next_link_id : int;
+}
+
+let create engine =
+  {
+    engine;
+    nodes_rev = [];
+    links_rev = [];
+    by_name = Hashtbl.create 16;
+    link_index = Hashtbl.create 16;
+    next_node_id = 0;
+    next_link_id = 0;
+  }
+
+let engine t = t.engine
+
+let add_node t ~kind name =
+  if Hashtbl.mem t.by_name name then
+    invalid_arg ("Topology.add_node: duplicate node " ^ name);
+  let node = Node.create ~id:t.next_node_id ~name ~kind in
+  t.next_node_id <- t.next_node_id + 1;
+  t.nodes_rev <- node :: t.nodes_rev;
+  Hashtbl.add t.by_name name node;
+  node
+
+let add_link t ~src ~dst ~bandwidth ~delay ~qdisc =
+  let key = (src.Node.id, dst.Node.id) in
+  if Hashtbl.mem t.link_index key then
+    invalid_arg
+      (Printf.sprintf "Topology.add_link: duplicate link %s->%s" src.Node.name
+         dst.Node.name);
+  let name = src.Node.name ^ "->" ^ dst.Node.name in
+  let link =
+    Link.create ~engine:t.engine ~id:t.next_link_id ~name ~src:src.Node.id
+      ~dst:dst.Node.id ~bandwidth ~delay ~qdisc
+  in
+  t.next_link_id <- t.next_link_id + 1;
+  link.Link.deliver <- (fun pkt -> Node.receive dst pkt);
+  t.links_rev <- link :: t.links_rev;
+  Hashtbl.add t.link_index key link;
+  link
+
+let nodes t = List.rev t.nodes_rev
+
+let links t = List.rev t.links_rev
+
+let find_node t name = Hashtbl.find_opt t.by_name name
+
+let find_link t ~src ~dst = Hashtbl.find_opt t.link_index (src.Node.id, dst.Node.id)
+
+let path_links t path =
+  let rec hops = function
+    | a :: (b :: _ as rest) ->
+      let link =
+        match find_link t ~src:a ~dst:b with
+        | Some link -> link
+        | None ->
+          failwith
+            (Printf.sprintf "Topology.path_links: no link %s->%s" a.Node.name
+               b.Node.name)
+      in
+      link :: hops rest
+    | [ _ ] | [] -> []
+  in
+  hops path
+
+let path_delay t path =
+  List.fold_left (fun acc link -> acc +. link.Link.delay) 0. (path_links t path)
+
+let install_path t ~flow path ~sink =
+  let hops = path_links t path in
+  List.iter2
+    (fun node link -> Node.set_route node ~flow link)
+    (List.filteri (fun i _ -> i < List.length hops) path)
+    hops;
+  match List.rev path with
+  | last :: _ -> Node.set_sink last ~flow sink
+  | [] -> invalid_arg "Topology.install_path: empty path"
+
+let uninstall_flow _t ~flow path =
+  List.iter
+    (fun node ->
+      Hashtbl.remove node.Node.routes flow;
+      Hashtbl.remove node.Node.sinks flow)
+    path

@@ -1,0 +1,47 @@
+(** Topology container: nodes, links, and per-flow path installation. *)
+
+type t
+
+val create : Sim.Engine.t -> t
+
+val engine : t -> Sim.Engine.t
+
+(** [add_node t ~kind name] creates a node with a fresh id.
+    @raise Invalid_argument if [name] is already taken. *)
+val add_node : t -> kind:Node.kind -> string -> Node.t
+
+(** [add_link t ~src ~dst ~bandwidth ~delay ~qdisc] creates the
+    unidirectional link [src -> dst] and wires its delivery to [dst].
+    @raise Invalid_argument if that directed link already exists. *)
+val add_link :
+  t ->
+  src:Node.t ->
+  dst:Node.t ->
+  bandwidth:float ->
+  delay:float ->
+  qdisc:Qdisc.t ->
+  Link.t
+
+val nodes : t -> Node.t list
+
+val links : t -> Link.t list
+
+val find_node : t -> string -> Node.t option
+
+val find_link : t -> src:Node.t -> dst:Node.t -> Link.t option
+
+(** Links traversed by a path of nodes, in order.
+    @raise Failure if two consecutive nodes are not connected. *)
+val path_links : t -> Node.t list -> Link.t list
+
+(** Sum of propagation delays along a node path (the control-plane
+    latency used for feedback travelling back to the edge). *)
+val path_delay : t -> Node.t list -> float
+
+(** [install_path t ~flow path ~sink] installs route entries for [flow]
+    along [path] and registers [sink] at the last node. *)
+val install_path : t -> flow:int -> Node.t list -> sink:(Packet.t -> unit) -> unit
+
+(** Remove the routing and sink state of a flow (used when a flow leaves
+    the network). *)
+val uninstall_flow : t -> flow:int -> Node.t list -> unit

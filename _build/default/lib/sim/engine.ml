@@ -1,0 +1,70 @@
+type handle = { mutable cancelled : bool }
+
+type event = { action : unit -> unit; handle : handle }
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  queue : event Event_queue.t;
+}
+
+let create () = { clock = 0.; seq = 0; queue = Event_queue.create () }
+
+let now t = t.clock
+
+let pending t = Event_queue.length t.queue
+
+let check_time label x =
+  if not (Float.is_finite x) then invalid_arg (label ^ ": time not finite")
+
+let push t ~time action handle =
+  t.seq <- t.seq + 1;
+  Event_queue.add t.queue ~key:time ~seq:t.seq { action; handle }
+
+let schedule_at t ~time action =
+  check_time "Engine.schedule_at" time;
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  let handle = { cancelled = false } in
+  push t ~time action handle;
+  handle
+
+let schedule t ~delay action =
+  check_time "Engine.schedule" delay;
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let every t ?start ~period action =
+  if period <= 0. then invalid_arg "Engine.every: period must be positive";
+  let start = match start with Some s -> s | None -> t.clock +. period in
+  let handle = { cancelled = false } in
+  let rec fire () =
+    action ();
+    if not handle.cancelled then push t ~time:(t.clock +. period) fire handle
+  in
+  push t ~time:start fire handle;
+  handle
+
+let cancel handle = handle.cancelled <- true
+
+let is_cancelled handle = handle.cancelled
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, _, event) ->
+    t.clock <- time;
+    if not event.handle.cancelled then event.action ();
+    true
+
+let run t = while step t do () done
+
+let run_until t limit =
+  let rec loop () =
+    match Event_queue.peek_key t.queue with
+    | Some (time, _) when time <= limit ->
+      ignore (step t);
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if limit > t.clock then t.clock <- limit

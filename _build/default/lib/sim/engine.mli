@@ -1,0 +1,50 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and an event queue. Events are thunks
+    scheduled at absolute or relative virtual times; they fire in time
+    order (FIFO among simultaneous events) and may schedule further
+    events. Every run of the same event program is deterministic. *)
+
+type t
+
+(** Cancellation token for a scheduled (possibly recurring) event. *)
+type handle
+
+val create : unit -> t
+
+(** Current virtual time in seconds. *)
+val now : t -> float
+
+(** Number of events still pending. *)
+val pending : t -> int
+
+(** [schedule t ~delay f] fires [f] at [now t +. delay].
+    @raise Invalid_argument if [delay] is negative or not finite. *)
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+
+(** [schedule_at t ~time f] fires [f] at absolute time [time].
+    @raise Invalid_argument if [time] is in the past or not finite. *)
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+
+(** [every t ~start ~period f] fires [f] at [start], [start +. period],
+    [start +. 2 *. period], ... until the handle is cancelled. [start]
+    defaults to [now t +. period].
+    @raise Invalid_argument if [period <= 0.]. *)
+val every : t -> ?start:float -> period:float -> (unit -> unit) -> handle
+
+(** Cancel a pending event. Cancelling an already-fired or already-
+    cancelled event is a no-op. *)
+val cancel : handle -> unit
+
+val is_cancelled : handle -> bool
+
+(** Execute the next pending event; returns [false] if none remain. *)
+val step : t -> bool
+
+(** Run until the event queue drains. *)
+val run : t -> unit
+
+(** [run_until t limit] executes every event with time [<= limit], then
+    advances the clock to [limit]. Recurring events keep the queue
+    non-empty, so simulations normally terminate through [run_until]. *)
+val run_until : t -> float -> unit

@@ -1,0 +1,79 @@
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+}
+
+let initial_capacity = 64
+
+let create () = { data = [||]; size = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow q entry =
+  let capacity = Array.length q.data in
+  if q.size = capacity then begin
+    let capacity' = if capacity = 0 then initial_capacity else 2 * capacity in
+    let data' = Array.make capacity' entry in
+    Array.blit q.data 0 data' 0 q.size;
+    q.data <- data'
+  end
+
+let sift_up q i =
+  let entry = q.data.(i) in
+  let rec loop i =
+    if i = 0 then i
+    else
+      let parent = (i - 1) / 2 in
+      if less entry q.data.(parent) then begin
+        q.data.(i) <- q.data.(parent);
+        loop parent
+      end
+      else i
+  in
+  q.data.(loop i) <- entry
+
+let sift_down q i =
+  let entry = q.data.(i) in
+  let rec loop i =
+    let left = (2 * i) + 1 in
+    if left >= q.size then i
+    else
+      let right = left + 1 in
+      let child =
+        if right < q.size && less q.data.(right) q.data.(left) then right
+        else left
+      in
+      if less q.data.(child) entry then begin
+        q.data.(i) <- q.data.(child);
+        loop child
+      end
+      else i
+  in
+  q.data.(loop i) <- entry
+
+let add q ~key ~seq value =
+  let entry = { key; seq; value } in
+  grow q entry;
+  q.data.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.data.(0) <- q.data.(q.size);
+      sift_down q 0
+    end;
+    Some (top.key, top.seq, top.value)
+  end
+
+let peek_key q = if q.size = 0 then None else Some (q.data.(0).key, q.data.(0).seq)

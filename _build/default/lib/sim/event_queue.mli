@@ -1,0 +1,21 @@
+(** Binary min-heap of timestamped entries.
+
+    Entries are ordered by [key] (simulation time) and, for equal keys, by
+    [seq] (insertion order), so simultaneous events fire in FIFO order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [add q ~key ~seq v] inserts [v] with priority [(key, seq)]. *)
+val add : 'a t -> key:float -> seq:int -> 'a -> unit
+
+(** [pop q] removes and returns the minimum entry, or [None] if empty. *)
+val pop : 'a t -> (float * int * 'a) option
+
+(** [peek_key q] returns the minimum [(key, seq)] without removing it. *)
+val peek_key : 'a t -> (float * int) option

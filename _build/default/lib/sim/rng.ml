@@ -1,0 +1,55 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = bits64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over the top bits to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (bits64 t) 1 in
+    let candidate = Int64.rem raw bound64 in
+    if Int64.sub raw candidate > Int64.sub Int64.max_int (Int64.sub bound64 1L)
+    then draw ()
+    else Int64.to_int candidate
+  in
+  draw ()
+
+let float t bound =
+  (* 53 uniform bits mapped to [0, 1). *)
+  let raw = Int64.shift_right_logical (bits64 t) 11 in
+  let unit = Int64.to_float raw *. 0x1p-53 in
+  unit *. bound
+
+let bernoulli t p = if p >= 1. then true else if p <= 0. then false else float t 1. < p
+
+let exponential t ~mean =
+  let u = 1. -. float t 1. in
+  -.mean *. log u
+
+let pareto t ~shape ~mean =
+  if shape <= 1. then invalid_arg "Rng.pareto: shape must exceed 1";
+  let scale = mean *. (shape -. 1.) /. shape in
+  let u = 1. -. float t 1. in
+  scale /. (u ** (1. /. shape))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Each simulation component owns its own generator (obtained by
+    {!split}), so adding or removing one component never perturbs the
+    random sequence seen by the others. *)
+
+type t
+
+(** [create seed] builds a generator from a seed. Equal seeds produce
+    equal streams. *)
+val create : int -> t
+
+(** A statistically independent generator derived from [t]'s stream. *)
+val split : t -> t
+
+(** Next raw 64-bit value. *)
+val bits64 : t -> int64
+
+(** [int t bound] draws uniformly from [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t bound] draws uniformly from [0, bound). *)
+val float : t -> float -> float
+
+(** [bernoulli t p] is [true] with probability [p] (clamped to [0,1]). *)
+val bernoulli : t -> float -> bool
+
+(** [exponential t ~mean] draws from Exp(1/mean). *)
+val exponential : t -> mean:float -> float
+
+(** [pareto t ~shape ~mean] draws from a Pareto distribution with tail
+    index [shape] scaled to the given mean — the heavy-tailed on/off
+    period model of classic ns-2 traffic generators.
+    @raise Invalid_argument unless [shape > 1] (the mean must exist). *)
+val pareto : t -> shape:float -> mean:float -> float
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

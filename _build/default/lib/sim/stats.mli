@@ -1,0 +1,73 @@
+(** Statistics accumulators used across the simulator. *)
+
+(** Time-weighted average of a piecewise-constant signal (e.g. queue
+    length). The signal takes value [v] from the instant of [set] until
+    the next [set]. *)
+module Time_weighted : sig
+  type t
+
+  val create : now:float -> init:float -> t
+
+  (** Record that the signal changed to [v] at time [now]. [now] must not
+      go backwards. *)
+  val set : t -> now:float -> float -> unit
+
+  (** Current value of the signal. *)
+  val value : t -> float
+
+  (** Average of the signal over [window start, now]. Returns [value] if
+      the window is empty. *)
+  val average : t -> now:float -> float
+
+  (** Start a new averaging window at [now]. The signal value carries
+      over. *)
+  val reset : t -> now:float -> unit
+end
+
+(** Fixed-gain exponentially weighted moving average. *)
+module Ewma : sig
+  type t
+
+  (** [create ~gain] with [0 < gain <= 1]. The first observation
+      initializes the average. *)
+  val create : gain:float -> t
+
+  val update : t -> float -> unit
+
+  (** Current average; [0.] before any observation. *)
+  val value : t -> float
+
+  val is_initialized : t -> bool
+end
+
+(** Streaming quantile estimation without storing samples — the P²
+    algorithm (Jain & Chlamtac, CACM 1985): five markers whose heights
+    are adjusted with a piecewise-parabolic fit as observations
+    arrive. Accurate to a few percent for the tail quantiles the
+    delay metrics report. *)
+module Quantile : sig
+  type t
+
+  (** [create ~q] estimates the [q]-quantile, [0 < q < 1]. *)
+  val create : q:float -> t
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  (** Current estimate. Exact while fewer than five observations have
+      arrived (falls back to the sorted sample); [0.] when empty. *)
+  val estimate : t -> float
+end
+
+(** Streaming mean/variance (Welford's algorithm). *)
+module Welford : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+end

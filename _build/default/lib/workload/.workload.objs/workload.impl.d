@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Blaster Csv Figures Multi_cloud Network Replication Runner Scenario_file Sweeps Tcp_direct Tcp_workload

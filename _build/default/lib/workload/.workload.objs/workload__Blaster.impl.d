@@ -1,0 +1,1 @@
+lib/workload/blaster.ml: Csfq Net Network Sim

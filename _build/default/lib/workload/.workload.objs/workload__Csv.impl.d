@@ -1,0 +1,1 @@
+lib/workload/csv.ml: Array Filename Fun List Printf Runner Sim Stdlib Sys

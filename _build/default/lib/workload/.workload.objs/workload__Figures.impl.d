@@ -1,0 +1,1 @@
+lib/workload/figures.ml: Array Corelite Csfq Fairness Format List Net Network Option Runner Sim

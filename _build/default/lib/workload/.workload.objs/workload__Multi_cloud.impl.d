@@ -1,0 +1,1 @@
+lib/workload/multi_cloud.ml: Corelite Hashtbl List Net Network Sim

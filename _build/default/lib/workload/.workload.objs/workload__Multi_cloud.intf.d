@@ -1,0 +1,1 @@
+lib/workload/multi_cloud.mli: Corelite Network

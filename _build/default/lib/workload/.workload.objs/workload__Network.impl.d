@@ -1,0 +1,1 @@
+lib/workload/network.ml: Array Fairness List Net Printf Sim

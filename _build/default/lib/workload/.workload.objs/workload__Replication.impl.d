@@ -1,0 +1,1 @@
+lib/workload/replication.ml: Figures Float Format List Sim

@@ -1,0 +1,1 @@
+lib/workload/replication.mli: Figures Format

@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Array Corelite Csfq Fairness Hashtbl List Net Network Option Printf Sim

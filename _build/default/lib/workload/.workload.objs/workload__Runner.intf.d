@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Corelite Csfq Net Network Sim

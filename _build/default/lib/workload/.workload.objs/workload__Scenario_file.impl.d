@@ -1,0 +1,1 @@
+lib/workload/scenario_file.ml: Buffer Corelite Csfq Fun List Network Option Printf Runner Sim String

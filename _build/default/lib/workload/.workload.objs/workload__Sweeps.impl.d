@@ -1,0 +1,1 @@
+lib/workload/sweeps.ml: Array Corelite Csfq Fairness Figures Format List Net Network Option Printf Runner Sim

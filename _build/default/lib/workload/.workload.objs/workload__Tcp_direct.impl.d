@@ -1,0 +1,1 @@
+lib/workload/tcp_direct.ml: Array Csfq Fairness Float List Net Network Sim

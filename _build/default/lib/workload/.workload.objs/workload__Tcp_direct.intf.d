@@ -1,0 +1,1 @@
+lib/workload/tcp_direct.mli: Csfq Net Network

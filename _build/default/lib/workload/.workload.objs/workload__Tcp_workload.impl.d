@@ -1,0 +1,1 @@
+lib/workload/tcp_workload.ml: Array Corelite Fairness Hashtbl List Net Network Sim

@@ -1,0 +1,1 @@
+lib/workload/tcp_workload.mli: Corelite Net Network

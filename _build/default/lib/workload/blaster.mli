@@ -1,0 +1,35 @@
+(** Unresponsive (misbehaving) constant-rate sources.
+
+    A blaster ignores every congestion signal and keeps pacing at its
+    configured rate — the classic stress case for fair-allocation
+    schemes. It is honest about identification: it labels packets with
+    its measured normalized rate (so CSFQ can police it) and, when
+    [corelite_markers] is set, attaches a Corelite marker to every
+    packet with its true normalized rate (so selective feedback targets
+    it — feedback it then ignores). *)
+
+type t
+
+(** [attach ~network ~flow ~rate ()] installs the blaster on the given
+    flow id of the network (path routing + egress sink) and starts
+    pacing immediately. [corelite_markers] defaults to false.
+    @raise Not_found for an unknown flow id;
+    @raise Invalid_argument on a non-positive rate. *)
+val attach :
+  network:Network.t ->
+  flow:int ->
+  rate:float ->
+  ?corelite_markers:bool ->
+  unit ->
+  t
+
+val stop : t -> unit
+
+(** Packets delivered end-to-end. *)
+val delivered : t -> int
+
+(** Packets injected so far. *)
+val sent : t -> int
+
+(** Delivered/sent — the fraction surviving the network's policing. *)
+val survival : t -> float

@@ -1,0 +1,28 @@
+let write_series ~path series =
+  let oc = open_out path in
+  let finally () = close_out oc in
+  Fun.protect ~finally (fun () ->
+      let ids = List.map fst series in
+      let columns = List.map (fun (_, ts) -> Sim.Timeseries.to_array ts) series in
+      output_string oc "time";
+      List.iter (fun id -> output_string oc (Printf.sprintf ",flow%d" id)) ids;
+      output_char oc '\n';
+      let rows = List.fold_left (fun acc c -> Stdlib.min acc (Array.length c)) max_int columns in
+      let rows = if rows = max_int then 0 else rows in
+      for i = 0 to rows - 1 do
+        let time, _ = (List.hd columns).(i) in
+        output_string oc (Printf.sprintf "%.3f" time);
+        List.iter
+          (fun column ->
+            let _, v = column.(i) in
+            output_string oc (Printf.sprintf ",%.4f" v))
+          columns;
+        output_char oc '\n'
+      done)
+
+let write_result ~dir ~prefix (result : Runner.result) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let file kind = Filename.concat dir (Printf.sprintf "%s_%s.csv" prefix kind) in
+  write_series ~path:(file "rates") result.Runner.rate_series;
+  write_series ~path:(file "goodput") result.Runner.goodput_series;
+  write_series ~path:(file "cumulative") result.Runner.cumulative

@@ -1,0 +1,10 @@
+(** CSV export of experiment series (for plotting the figures). *)
+
+(** [write_series ~path series] writes a wide CSV: first column [time],
+    one column per flow (header [flowN]). All series must share the
+    sampling grid (the {!Runner} guarantees this). *)
+val write_series : path:string -> (int * Sim.Timeseries.t) list -> unit
+
+(** Write [<prefix>_rates.csv], [<prefix>_goodput.csv] and
+    [<prefix>_cumulative.csv] under [dir] (created if missing). *)
+val write_result : dir:string -> prefix:string -> Runner.result -> unit

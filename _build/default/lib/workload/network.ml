@@ -1,0 +1,163 @@
+type t = {
+  engine : Sim.Engine.t;
+  topology : Net.Topology.t;
+  flows : Net.Flow.t list;
+  core_links : Net.Link.t list;
+}
+
+let flow t id =
+  match List.find_opt (fun f -> f.Net.Flow.id = id) t.flows with
+  | Some f -> f
+  | None -> raise Not_found
+
+let link_capacities t =
+  List.map
+    (fun link -> (link.Net.Link.id, Net.Link.capacity_pps link))
+    (Net.Topology.links t.topology)
+
+let expected_rates t ~active =
+  let demands =
+    List.filter_map
+      (fun f ->
+        if List.mem f.Net.Flow.id active then
+          Some
+            (Fairness.Maxmin.demand ~flow:f.Net.Flow.id ~weight:f.Net.Flow.weight
+               ~links:(List.map (fun l -> l.Net.Link.id) (Net.Flow.links f t.topology))
+               ())
+        else None)
+      t.flows
+  in
+  Fairness.Maxmin.solve ~capacities:(link_capacities t) ~demands
+
+let default_bandwidth = 4_000_000.
+
+let default_delay = 0.04
+
+(* Entry and exit core router (1-based) for each flow of Topology 1. *)
+let topology1_span flow_id =
+  match flow_id with
+  | n when n >= 1 && n <= 5 -> (1, 2)
+  | n when n >= 6 && n <= 8 -> (1, 3)
+  | 9 | 10 -> (1, 4)
+  | 11 | 12 -> (2, 3)
+  | n when n >= 13 && n <= 15 -> (2, 4)
+  | n when n >= 16 && n <= 20 -> (3, 4)
+  | n -> invalid_arg (Printf.sprintf "Network.topology1: unknown flow %d" n)
+
+let chain ~engine ?(bandwidth = default_bandwidth) ?(delay = default_delay)
+    ?(queue_capacity = 40) ?core_qdisc ~cores:n_cores ~specs () =
+  if n_cores < 2 then invalid_arg "Network.chain: need at least two cores";
+  let topology = Net.Topology.create engine in
+  let qdisc () = Net.Qdisc.droptail ~capacity:queue_capacity in
+  let core_qdisc = match core_qdisc with Some f -> f | None -> qdisc in
+  let cores =
+    Array.init n_cores (fun i ->
+        Net.Topology.add_node topology ~kind:Net.Node.Core (Printf.sprintf "C%d" (i + 1)))
+  in
+  let core_links =
+    List.init (n_cores - 1) (fun i ->
+        Net.Topology.add_link topology ~src:cores.(i) ~dst:cores.(i + 1) ~bandwidth
+          ~delay ~qdisc:(core_qdisc ()))
+  in
+  let flows =
+    List.map
+      (fun (flow_id, weight, entry, exit) ->
+        let ingress =
+          Net.Topology.add_node topology ~kind:Net.Node.Edge
+            (Printf.sprintf "E%d" flow_id)
+        in
+        let egress =
+          Net.Topology.add_node topology ~kind:Net.Node.Edge
+            (Printf.sprintf "D%d" flow_id)
+        in
+        ignore
+          (Net.Topology.add_link topology ~src:ingress ~dst:cores.(entry - 1)
+             ~bandwidth ~delay ~qdisc:(qdisc ()));
+        ignore
+          (Net.Topology.add_link topology ~src:cores.(exit - 1) ~dst:egress ~bandwidth
+             ~delay ~qdisc:(qdisc ()));
+        let core_path =
+          List.init (exit - entry + 1) (fun i -> cores.(entry - 1 + i))
+        in
+        Net.Flow.make ~id:flow_id ~weight ~path:((ingress :: core_path) @ [ egress ]))
+      specs
+  in
+  { engine; topology; flows; core_links }
+
+let topology1 ~engine ?(bandwidth = default_bandwidth) ?(delay = default_delay)
+    ?(queue_capacity = 40) ?core_qdisc ?(flow_ids = List.init 20 (fun i -> i + 1))
+    ~weights () =
+  let specs =
+    List.map
+      (fun id ->
+        let entry, exit = topology1_span id in
+        (id, weights id, entry, exit))
+      flow_ids
+  in
+  chain ~engine ~bandwidth ~delay ~queue_capacity ?core_qdisc ~cores:4 ~specs ()
+
+let random ~engine ~rng ?(bandwidth = default_bandwidth) ?(delay = default_delay)
+    ?(queue_capacity = 40) ~cores:n_cores ~extra_links ~flows () =
+  if n_cores < 2 then invalid_arg "Network.random: need at least two cores";
+  let topology = Net.Topology.create engine in
+  let qdisc () = Net.Qdisc.droptail ~capacity:queue_capacity in
+  let add_link ~src ~dst =
+    match Net.Topology.find_link topology ~src ~dst with
+    | Some link -> link
+    | None ->
+      Net.Topology.add_link topology ~src ~dst ~bandwidth ~delay ~qdisc:(qdisc ())
+  in
+  let cores =
+    Array.init n_cores (fun i ->
+        Net.Topology.add_node topology ~kind:Net.Node.Core (Printf.sprintf "C%d" (i + 1)))
+  in
+  (* Bidirectional chain guarantees connectivity; chords add path
+     diversity. *)
+  for i = 0 to n_cores - 2 do
+    ignore (add_link ~src:cores.(i) ~dst:cores.(i + 1));
+    ignore (add_link ~src:cores.(i + 1) ~dst:cores.(i))
+  done;
+  for _ = 1 to extra_links do
+    let a = Sim.Rng.int rng n_cores and b = Sim.Rng.int rng n_cores in
+    if a <> b then ignore (add_link ~src:cores.(a) ~dst:cores.(b))
+  done;
+  let flows =
+    List.map
+      (fun (flow_id, weight) ->
+        let entry = Sim.Rng.int rng n_cores in
+        let exit =
+          let rec draw () =
+            let candidate = Sim.Rng.int rng n_cores in
+            if candidate = entry then draw () else candidate
+          in
+          draw ()
+        in
+        let ingress =
+          Net.Topology.add_node topology ~kind:Net.Node.Edge
+            (Printf.sprintf "E%d" flow_id)
+        in
+        let egress =
+          Net.Topology.add_node topology ~kind:Net.Node.Edge
+            (Printf.sprintf "D%d" flow_id)
+        in
+        ignore (add_link ~src:ingress ~dst:cores.(entry));
+        ignore (add_link ~src:cores.(exit) ~dst:egress);
+        let core_path =
+          match
+            Net.Routing.shortest_path topology ~src:cores.(entry) ~dst:cores.(exit)
+          with
+          | Some path -> path
+          | None -> assert false (* chain keeps the graph connected *)
+        in
+        Net.Flow.make ~id:flow_id ~weight ~path:((ingress :: core_path) @ [ egress ]))
+      flows
+  in
+  (* Police every link: random flows may bottleneck anywhere, including
+     their access links. *)
+  { engine; topology; flows; core_links = Net.Topology.links topology }
+
+let single_bottleneck ~engine ?(bandwidth = default_bandwidth) ?(delay = default_delay)
+    ?(queue_capacity = 40) ?core_qdisc ~weights n =
+  if n <= 0 then invalid_arg "Network.single_bottleneck: need at least one flow";
+  let specs = List.init n (fun i -> (i + 1, weights (i + 1), 1, 2)) in
+  chain ~engine ~bandwidth ~delay ~queue_capacity ?core_qdisc ~cores:2 ~specs ()

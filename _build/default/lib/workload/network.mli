@@ -1,0 +1,95 @@
+(** Evaluation networks.
+
+    {!topology1} builds the paper's Figure 2 network: a chain of core
+    routers C1-C2-C3-C4 whose three inter-core links are the congested
+    links, and per-flow ingress/egress edge routers hanging off the
+    cores. Every link is 4 Mbps with 40 ms propagation delay and a
+    40-packet DropTail queue, giving the paper's round-trip times of
+    240/320/400 ms for flows crossing 1/2/3 congested links.
+    [core_qdisc] substitutes a different queue discipline on the
+    congested links (RED/FRED for the related-work ablation). *)
+
+type t = {
+  engine : Sim.Engine.t;
+  topology : Net.Topology.t;
+  flows : Net.Flow.t list;  (** ascending flow id *)
+  core_links : Net.Link.t list;  (** the potentially congested links *)
+}
+
+val flow : t -> int -> Net.Flow.t
+(** @raise Not_found for an unknown flow id. *)
+
+(** Capacities of every link, in packets/s, keyed by link id (input for
+    the max-min reference solver). *)
+val link_capacities : t -> (int * float) list
+
+(** Weighted max-min reference rates (pkt/s) for a set of concurrently
+    active flows. *)
+val expected_rates : t -> active:int list -> (int * float) list
+
+(** [topology1 ~engine ~weights ()] builds the 20-flow network of the
+    paper's Figure 2. [weights] gives each flow id its rate weight.
+    [flow_ids] (default [1..20]) selects a subset of the flows — e.g.
+    Figure 5/6 use flows 1-10 only. Flow paths: 1-5 cross C1-C2;
+    6-8 cross C1-C2-C3; 9-10 cross C1-C2-C3-C4; 11-12 cross C2-C3;
+    13-15 cross C2-C3-C4; 16-20 cross C3-C4. *)
+val topology1 :
+  engine:Sim.Engine.t ->
+  ?bandwidth:float ->
+  ?delay:float ->
+  ?queue_capacity:int ->
+  ?core_qdisc:(unit -> Net.Qdisc.t) ->
+  ?flow_ids:int list ->
+  weights:(int -> float) ->
+  unit ->
+  t
+
+(** [chain ~engine ~cores ~specs ()] builds a linear chain of [cores]
+    core routers; each spec [(flow_id, weight, entry, exit)] attaches a
+    flow entering the cloud at core [entry] and leaving at core [exit]
+    (1-based, [entry <= exit]) through its own edge routers — the
+    general form behind {!topology1}, exposed for scenario files.
+    @raise Invalid_argument on fewer than two cores. *)
+val chain :
+  engine:Sim.Engine.t ->
+  ?bandwidth:float ->
+  ?delay:float ->
+  ?queue_capacity:int ->
+  ?core_qdisc:(unit -> Net.Qdisc.t) ->
+  cores:int ->
+  specs:(int * float * int * int) list ->
+  unit ->
+  t
+
+(** [random ~engine ~rng ~cores ~extra_links ~flows ()] generates a
+    random connected core network: a bidirectional chain of [cores]
+    core routers plus [extra_links] random directed chords, with each
+    flow entering and leaving at random distinct cores through its own
+    edge routers. Flow paths are delay-shortest ({!Net.Routing}).
+    Every link (access links included) is returned in [core_links] so
+    schemes police the whole cloud. Used by the randomized end-to-end
+    fairness property tests. *)
+val random :
+  engine:Sim.Engine.t ->
+  rng:Sim.Rng.t ->
+  ?bandwidth:float ->
+  ?delay:float ->
+  ?queue_capacity:int ->
+  cores:int ->
+  extra_links:int ->
+  flows:(int * float) list ->
+  unit ->
+  t
+
+(** [single_bottleneck ~engine ~weights n] builds [n] flows sharing one
+    core link C1-C2 (each with its own edges) — the minimal fairness
+    scenario used by tests and the quickstart example. *)
+val single_bottleneck :
+  engine:Sim.Engine.t ->
+  ?bandwidth:float ->
+  ?delay:float ->
+  ?queue_capacity:int ->
+  ?core_qdisc:(unit -> Net.Qdisc.t) ->
+  weights:(int -> float) ->
+  int ->
+  t

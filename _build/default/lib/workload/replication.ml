@@ -1,0 +1,54 @@
+type stats = {
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  runs : int;
+}
+
+let replicate ~seeds metric =
+  if seeds = [] then invalid_arg "Replication.replicate: no seeds";
+  let welford = Sim.Stats.Welford.create () in
+  let values = List.map metric seeds in
+  List.iter (Sim.Stats.Welford.add welford) values;
+  {
+    mean = Sim.Stats.Welford.mean welford;
+    stddev = Sim.Stats.Welford.stddev welford;
+    min = List.fold_left Float.min infinity values;
+    max = List.fold_left Float.max neg_infinity values;
+    runs = List.length values;
+  }
+
+type figure_stats = {
+  jain : stats;
+  drops : stats;
+  convergence : stats;
+}
+
+let replicate_figure ~seeds (spec : Figures.spec) =
+  (* One run per seed, three metrics each: run once and memoize. *)
+  let summaries =
+    List.map
+      (fun seed ->
+        let result = Figures.run ~seed spec in
+        (seed, Figures.summarize spec result))
+      seeds
+  in
+  let metric f = replicate ~seeds (fun seed -> f (List.assoc seed summaries)) in
+  {
+    jain =
+      metric (fun s ->
+          match List.rev s.Figures.phase_summaries with
+          | last :: _ -> last.Figures.jain
+          | [] -> 1.);
+    drops = metric (fun s -> float_of_int s.Figures.core_drops);
+    convergence =
+      metric (fun s ->
+          match s.Figures.convergence with
+          | Some t -> t
+          | None -> spec.Figures.duration);
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%.3f +- %.3f (min %.3f, max %.3f, n=%d)" s.mean s.stddev s.min
+    s.max s.runs

@@ -1,0 +1,31 @@
+(** Multi-seed replication of experiments.
+
+    All runs are deterministic per seed; replication across seeds shows
+    the spread that the random components (selector draws, timer
+    phases) induce, so a headline number is not a seed fluke. *)
+
+type stats = {
+  mean : float;
+  stddev : float;  (** sample standard deviation; 0 for a single run *)
+  min : float;
+  max : float;
+  runs : int;
+}
+
+(** [replicate ~seeds metric] evaluates [metric seed] for every seed
+    and summarizes. @raise Invalid_argument on an empty seed list. *)
+val replicate : seeds:int list -> (int -> float) -> stats
+
+(** Figure-scenario replication: runs the spec once per seed and
+    summarizes (steady-state Jain of the last phase, core drops, and
+    convergence time — [nan]-free: non-converged runs count as the
+    run duration). *)
+type figure_stats = {
+  jain : stats;
+  drops : stats;
+  convergence : stats;
+}
+
+val replicate_figure : seeds:int list -> Figures.spec -> figure_stats
+
+val pp_stats : Format.formatter -> stats -> unit

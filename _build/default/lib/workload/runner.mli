@@ -1,0 +1,70 @@
+(** Unified experiment runner for both schemes.
+
+    Builds a Corelite or weighted-CSFQ deployment on a {!Network.t},
+    plays a start/stop schedule, samples every flow's allowed rate and
+    cumulative delivery on a fixed grid, and returns the series the
+    paper's figures plot. *)
+
+type scheme =
+  | Corelite of Corelite.Params.t
+  | Csfq of Csfq.Params.t
+  | Plain of Csfq.Params.t
+      (** loss-driven adaptive sources with no core logic at all: the
+          flows react only to whatever the links' queue disciplines
+          drop (DropTail/RED/FRED related-work comparator) *)
+
+val scheme_name : scheme -> string
+
+type action = Start of int | Stop of int
+
+type result = {
+  scheme : string;
+  network : Network.t;
+  rate_series : (int * Sim.Timeseries.t) list;
+      (** per flow: allowed rate [bg] (pkt/s); 0 while stopped *)
+  goodput_series : (int * Sim.Timeseries.t) list;
+      (** per flow: packets delivered per second over each sample
+          interval *)
+  cumulative : (int * Sim.Timeseries.t) list;
+      (** per flow: total packets delivered so far (paper Figure 4) *)
+  core_drops : int;  (** packets lost on the congested links *)
+  feedback_markers : int;  (** Corelite: feedback sent; CSFQ: 0 *)
+  early_drops : int;  (** CSFQ: probabilistic drops; Corelite: 0 *)
+  mean_delays : (int * float) list;
+      (** per flow: mean end-to-end delay of delivered packets, seconds *)
+  p99_delays : (int * float) list;
+      (** per flow: 99th-percentile end-to-end delay (P2 estimate) *)
+  drops_by_flow : (int * int) list;
+      (** per flow: packets lost on the core links (CSFQ-paper-style
+          loss accounting) *)
+}
+
+(** [run ~scheme ~network ~schedule ~duration ()] executes one
+    experiment. [floors] gives contracted minimum rates to specific
+    flows; [bursty] makes the listed flows application-limited with
+    exponential on/off periods [(flow, on_mean, off_mean)] (both
+    extensions). Sampling defaults to once per simulated second.
+    Deterministic for a fixed [seed]. *)
+val run :
+  scheme:scheme ->
+  network:Network.t ->
+  ?seed:int ->
+  ?sample_period:float ->
+  ?floors:(int * float) list ->
+  ?bursty:(int * float * float) list ->
+  ?burst_distribution:Net.Onoff.distribution ->
+  schedule:(float * action) list ->
+  duration:float ->
+  unit ->
+  result
+
+(** Mean sampled rate of a flow over a time window (steady-state
+    measurement); [nan] if the flow has no samples there. *)
+val mean_rate : result -> flow:int -> from:float -> until:float -> float
+
+(** Rates of all flows averaged over a window, ascending flow id. *)
+val mean_rates : result -> from:float -> until:float -> (int * float) list
+
+(** Jain fairness index of the windowed mean rates against the flow
+    weights, over the given flows (default: all). *)
+val jain : ?flows:int list -> result -> from:float -> until:float -> float

@@ -1,0 +1,25 @@
+(** The evaluation layer: networks, scenarios, runners and analyses.
+
+    {!Network} builds the paper's Topology 1, generic chains, single
+    bottlenecks and random graphs; {!Runner} executes a start/stop
+    schedule under a scheme (Corelite, weighted CSFQ, or plain
+    loss-driven sources) and samples the series the figures plot;
+    {!Figures} encodes Figures 3-10 of the paper with their
+    measurement phases and references; {!Sweeps} the sensitivity and
+    ablation grid; {!Replication} multi-seed statistics; {!Blaster}
+    unresponsive stress sources; {!Tcp_workload} TCP micro-flows in
+    shaped aggregates; {!Tcp_direct} raw TCP over each core discipline;
+    {!Multi_cloud} inter-domain chaining;
+    {!Scenario_file} a small text DSL; {!Csv} series export. *)
+
+module Network = Network
+module Runner = Runner
+module Figures = Figures
+module Sweeps = Sweeps
+module Replication = Replication
+module Blaster = Blaster
+module Tcp_workload = Tcp_workload
+module Tcp_direct = Tcp_direct
+module Multi_cloud = Multi_cloud
+module Scenario_file = Scenario_file
+module Csv = Csv

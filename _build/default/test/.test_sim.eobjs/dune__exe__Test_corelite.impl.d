@@ -1,0 +1,1 @@
+test/test_corelite.ml: Alcotest Corelite Float List Net Option Printf QCheck QCheck_alcotest Sim Workload

@@ -1,0 +1,1 @@
+test/test_csfq.ml: Alcotest Csfq List Net Option Sim Workload

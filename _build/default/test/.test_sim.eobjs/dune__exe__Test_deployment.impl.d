@@ -1,0 +1,1 @@
+test/test_deployment.ml: Alcotest Corelite Csfq Filename List Net Printf Sim Sys Workload

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Corelite Csfq Fairness List Net Option Sim Workload

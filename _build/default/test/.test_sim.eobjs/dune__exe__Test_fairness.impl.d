@@ -1,0 +1,1 @@
+test/test_fairness.ml: Alcotest Fairness Float Fun Hashtbl List Option Printf QCheck QCheck_alcotest Sim Workload

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Corelite Csfq Fairness Float Gen List Net Option Printf QCheck QCheck_alcotest Sim Workload

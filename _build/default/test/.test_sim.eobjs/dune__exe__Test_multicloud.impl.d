@@ -1,0 +1,1 @@
+test/test_multicloud.ml: Alcotest Corelite Float List Printf Sim Workload

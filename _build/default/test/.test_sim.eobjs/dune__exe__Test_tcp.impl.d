@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Corelite Csfq Float List Net Printf Sim Workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Corelite Csfq Filename Float Format List Net Printf QCheck QCheck_alcotest Sim String Sys Workload

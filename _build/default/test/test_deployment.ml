@@ -1,0 +1,288 @@
+(* Tests for the deployment wiring (control plane, feedback latency),
+   runner options (floors, bursty flows, sampling), and CSV export
+   corner cases. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let ids n = List.init n (fun i -> i + 1)
+
+let single_bottleneck ?(n = 2) ?(weights = fun _ -> 1.) () =
+  let engine = Sim.Engine.create () in
+  let network = Workload.Network.single_bottleneck ~engine ~weights n in
+  (engine, network)
+
+(* ------------------------------------------------------------------ *)
+(* Corelite.Deployment *)
+
+let corelite_deployment network =
+  Corelite.Deployment.build ~params:Corelite.Params.default ~rng:(Sim.Rng.create 3)
+    ~topology:network.Workload.Network.topology
+    ~flows:(List.map Corelite.Deployment.spec network.Workload.Network.flows)
+    ~core_links:network.Workload.Network.core_links
+
+let test_deployment_rejects_duplicate_flows () =
+  let _, network = single_bottleneck () in
+  let flow = List.hd network.Workload.Network.flows in
+  Alcotest.check_raises "duplicate" (Invalid_argument "Deployment.build: duplicate flow 1")
+    (fun () ->
+      ignore
+        (Corelite.Deployment.build ~params:Corelite.Params.default
+           ~rng:(Sim.Rng.create 1) ~topology:network.Workload.Network.topology
+           ~flows:[ Corelite.Deployment.spec flow; Corelite.Deployment.spec flow ]
+           ~core_links:network.Workload.Network.core_links))
+
+let test_deployment_agents_sorted () =
+  let _, network = single_bottleneck ~n:5 () in
+  let d = corelite_deployment network in
+  Alcotest.(check (list int)) "ascending ids" [ 1; 2; 3; 4; 5 ]
+    (List.map fst (Corelite.Deployment.agents d));
+  Alcotest.check_raises "unknown agent" Not_found (fun () ->
+      ignore (Corelite.Deployment.agent d 99))
+
+let test_deployment_start_all_and_counters () =
+  let engine, network = single_bottleneck ~n:3 () in
+  let d = corelite_deployment network in
+  Corelite.Deployment.start_all d;
+  (* Three flows climbing +2 pkt/s each need ~75 s to congest 500. *)
+  Sim.Engine.run_until engine 120.;
+  List.iter
+    (fun (_, agent) ->
+      Alcotest.(check bool) "running" true (Corelite.Edge.running agent))
+    (Corelite.Deployment.agents d);
+  (* Three flows on one 500 pkt/s link must have triggered feedback. *)
+  Alcotest.(check bool) "feedback flowed" true (Corelite.Deployment.total_feedback d > 0);
+  Alcotest.(check int) "no loss" 0 (Corelite.Deployment.total_drops d);
+  Alcotest.(check int) "one core attached" 1 (List.length (Corelite.Deployment.cores d))
+
+let test_feedback_latency_matches_reverse_path () =
+  (* The control-plane delay from the core link back to the ingress
+     edge equals the upstream propagation: 40 ms on a single-bottleneck
+     path. Check by injecting a synthetic feedback through the core's
+     send_feedback closure indirectly: measure the earliest time a rate
+     decrease can follow a congested epoch. Cheaper and more robust:
+     verify the precomputed delay helper the deployment uses. *)
+  let _, network = single_bottleneck () in
+  let flow = Workload.Network.flow network 1 in
+  let core_link = List.hd network.Workload.Network.core_links in
+  match
+    Net.Flow.upstream_delay flow network.Workload.Network.topology core_link
+  with
+  | Some delay -> check_float "one access hop back" 0.04 delay
+  | None -> Alcotest.fail "flow does not cross its bottleneck?"
+
+(* ------------------------------------------------------------------ *)
+(* Csfq.Deployment *)
+
+let test_csfq_deployment_no_cores_mode () =
+  let engine, network = single_bottleneck ~n:4 () in
+  let d =
+    Csfq.Deployment.build ~attach_cores:false ~params:Csfq.Params.default
+      ~rng:(Sim.Rng.create 5) ~topology:network.Workload.Network.topology
+      ~flows:(List.map Csfq.Deployment.spec network.Workload.Network.flows)
+      ~core_links:network.Workload.Network.core_links ()
+  in
+  Alcotest.(check int) "no core logic" 0 (List.length (Csfq.Deployment.cores d));
+  Csfq.Deployment.start_all d;
+  Sim.Engine.run_until engine 80.;
+  (* Loss notifications still reach the agents (they adapt, so the link
+     is not permanently saturated). *)
+  let losses =
+    List.fold_left (fun acc (_, a) -> acc + Csfq.Edge.losses a) 0
+      (Csfq.Deployment.agents d)
+  in
+  Alcotest.(check bool) "agents saw losses" true (losses > 0);
+  Alcotest.(check bool) "drops happened (droptail only)" true
+    (Csfq.Deployment.total_drops d > 0)
+
+let test_csfq_deployment_duplicate () =
+  let _, network = single_bottleneck () in
+  let flow = List.hd network.Workload.Network.flows in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Csfq.Deployment.build: duplicate flow 1") (fun () ->
+      ignore
+        (Csfq.Deployment.build ~params:Csfq.Params.default ~rng:(Sim.Rng.create 1)
+           ~topology:network.Workload.Network.topology
+           ~flows:[ Csfq.Deployment.spec flow; Csfq.Deployment.spec flow ]
+           ~core_links:network.Workload.Network.core_links ()))
+
+(* ------------------------------------------------------------------ *)
+(* Runner options *)
+
+let test_runner_floor_passthrough () =
+  let _, network = single_bottleneck ~n:2 () in
+  let result =
+    Workload.Runner.run ~scheme:(Workload.Runner.Corelite Corelite.Params.default)
+      ~network ~floors:[ (1, 300.) ]
+      ~schedule:[ (0., Workload.Runner.Start 1); (0., Workload.Runner.Start 2) ]
+      ~duration:120. ()
+  in
+  Alcotest.(check bool) "contracted flow holds 300" true
+    (Workload.Runner.mean_rate result ~flow:1 ~from:90. ~until:120. >= 295.)
+
+let test_runner_bursty_flow_pauses () =
+  let _, network = single_bottleneck ~n:1 () in
+  (* Mean on 1 s / off 9 s: the flow is idle most of the time, so its
+     goodput is far below the always-on equivalent. *)
+  let bursty_result =
+    Workload.Runner.run ~scheme:(Workload.Runner.Corelite Corelite.Params.default)
+      ~network
+      ~bursty:[ (1, 1., 9.) ]
+      ~schedule:[ (0., Workload.Runner.Start 1) ]
+      ~duration:100. ()
+  in
+  let engine2 = Sim.Engine.create () in
+  let network2 = Workload.Network.single_bottleneck ~engine:engine2 ~weights:(fun _ -> 1.) 1 in
+  let steady_result =
+    Workload.Runner.run ~scheme:(Workload.Runner.Corelite Corelite.Params.default)
+      ~network:network2
+      ~schedule:[ (0., Workload.Runner.Start 1) ]
+      ~duration:100. ()
+  in
+  let total r =
+    match Sim.Timeseries.last (List.assoc 1 r.Workload.Runner.cumulative) with
+    | Some (_, v) -> v
+    | None -> 0.
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "bursty delivers much less (%.0f vs %.0f)" (total bursty_result)
+       (total steady_result))
+    true
+    (total bursty_result < 0.5 *. total steady_result)
+
+let test_runner_plain_scheme_only_overflow_drops () =
+  let _, network = single_bottleneck ~n:4 () in
+  let result =
+    Workload.Runner.run ~scheme:(Workload.Runner.Plain Csfq.Params.default) ~network
+      ~schedule:(List.map (fun i -> (0., Workload.Runner.Start i)) (ids 4))
+      ~duration:80. ()
+  in
+  Alcotest.(check string) "scheme name" "plain" result.Workload.Runner.scheme;
+  Alcotest.(check int) "no probabilistic drops" 0 result.Workload.Runner.early_drops;
+  Alcotest.(check bool) "tail drops happen" true (result.Workload.Runner.core_drops > 0)
+
+let test_runner_sample_period () =
+  let _, network = single_bottleneck ~n:1 () in
+  let result =
+    Workload.Runner.run ~scheme:(Workload.Runner.Corelite Corelite.Params.default)
+      ~network ~sample_period:0.5
+      ~schedule:[ (0., Workload.Runner.Start 1) ]
+      ~duration:10. ()
+  in
+  Alcotest.(check int) "20 samples at 0.5 s" 20
+    (Sim.Timeseries.length (List.assoc 1 result.Workload.Runner.rate_series))
+
+let test_runner_delay_metrics_populated () =
+  let _, network = single_bottleneck ~n:2 () in
+  let result =
+    Workload.Runner.run ~scheme:(Workload.Runner.Corelite Corelite.Params.default)
+      ~network
+      ~schedule:[ (0., Workload.Runner.Start 1); (0., Workload.Runner.Start 2) ]
+      ~duration:60. ()
+  in
+  List.iter
+    (fun (_, mean) ->
+      (* At least the 120 ms propagation; far below a second. *)
+      Alcotest.(check bool) "plausible mean delay" true (mean > 0.11 && mean < 1.))
+    result.Workload.Runner.mean_delays;
+  List.iter2
+    (fun (_, mean) (_, p99) ->
+      Alcotest.(check bool) "p99 >= mean" true (p99 >= mean -. 1e-9))
+    result.Workload.Runner.mean_delays result.Workload.Runner.p99_delays
+
+(* ------------------------------------------------------------------ *)
+(* Figures.restart_recovery *)
+
+let test_restart_recovery () =
+  let _, network = single_bottleneck ~n:2 () in
+  let schedule =
+    [
+      (0., Workload.Runner.Start 1);
+      (0., Workload.Runner.Start 2);
+      (60., Workload.Runner.Stop 1);
+      (70., Workload.Runner.Start 1);
+    ]
+  in
+  let result =
+    Workload.Runner.run ~scheme:(Workload.Runner.Corelite Corelite.Params.default)
+      ~network ~schedule ~duration:200. ()
+  in
+  (match
+     Workload.Figures.restart_recovery result ~flow:1 ~restart_at:70. ~target:250.
+       ~fraction:0.8
+   with
+  | Some t -> Alcotest.(check bool) "recovers within 120 s" true (t > 0. && t < 120.)
+  | None -> Alcotest.fail "never recovered");
+  Alcotest.(check bool) "unknown flow" true
+    (Workload.Figures.restart_recovery result ~flow:9 ~restart_at:0. ~target:1.
+       ~fraction:0.5
+    = None)
+
+(* ------------------------------------------------------------------ *)
+(* Csv corner cases *)
+
+let test_csv_uneven_series_truncated () =
+  let a = Sim.Timeseries.create () and b = Sim.Timeseries.create () in
+  for i = 1 to 5 do
+    Sim.Timeseries.add a (float_of_int i) 1.
+  done;
+  for i = 1 to 3 do
+    Sim.Timeseries.add b (float_of_int i) 2.
+  done;
+  let path = Filename.temp_file "corelite" ".csv" in
+  Workload.Csv.write_series ~path [ (1, a); (2, b) ];
+  let ic = open_in path in
+  let lines = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  Alcotest.(check int) "header + min(5,3) rows" 4 !lines
+
+let test_csv_empty_series () =
+  let path = Filename.temp_file "corelite" ".csv" in
+  Workload.Csv.write_series ~path [ (1, Sim.Timeseries.create ()) ];
+  let ic = open_in path in
+  let header = input_line ic in
+  let rest = try Some (input_line ic) with End_of_file -> None in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header only" "time,flow1" header;
+  Alcotest.(check bool) "no rows" true (rest = None)
+
+let () =
+  Alcotest.run "deployment"
+    [
+      ( "corelite",
+        [
+          Alcotest.test_case "duplicate flows" `Quick test_deployment_rejects_duplicate_flows;
+          Alcotest.test_case "agents sorted" `Quick test_deployment_agents_sorted;
+          Alcotest.test_case "start all and counters" `Slow
+            test_deployment_start_all_and_counters;
+          Alcotest.test_case "feedback latency" `Quick
+            test_feedback_latency_matches_reverse_path;
+        ] );
+      ( "csfq",
+        [
+          Alcotest.test_case "no-cores mode" `Slow test_csfq_deployment_no_cores_mode;
+          Alcotest.test_case "duplicate flows" `Quick test_csfq_deployment_duplicate;
+        ] );
+      ( "runner_options",
+        [
+          Alcotest.test_case "floor passthrough" `Slow test_runner_floor_passthrough;
+          Alcotest.test_case "bursty pauses" `Slow test_runner_bursty_flow_pauses;
+          Alcotest.test_case "plain scheme drops" `Slow
+            test_runner_plain_scheme_only_overflow_drops;
+          Alcotest.test_case "sample period" `Quick test_runner_sample_period;
+          Alcotest.test_case "delay metrics" `Slow test_runner_delay_metrics_populated;
+        ] );
+      ( "figures_helpers",
+        [ Alcotest.test_case "restart recovery" `Slow test_restart_recovery ] );
+      ( "csv",
+        [
+          Alcotest.test_case "uneven series" `Quick test_csv_uneven_series_truncated;
+          Alcotest.test_case "empty series" `Quick test_csv_empty_series;
+        ] );
+    ]

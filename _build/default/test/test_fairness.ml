@@ -1,0 +1,423 @@
+(* Tests for the weighted max-min reference solver and metrics. *)
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let check_float_eps eps = Alcotest.(check (float eps))
+
+let demand ?floor ~flow ~weight ~links () =
+  Fairness.Maxmin.demand ?floor ~flow ~weight ~links ()
+
+let solve = Fairness.Maxmin.solve
+
+let assoc = List.assoc
+
+(* ------------------------------------------------------------------ *)
+(* Maxmin *)
+
+let test_single_link_equal_weights () =
+  let demands = List.init 4 (fun i -> demand ~flow:i ~weight:1. ~links:[ 0 ] ()) in
+  let rates = solve ~capacities:[ (0, 100.) ] ~demands in
+  List.iter (fun (_, r) -> check_float "equal split" 25. r) rates
+
+let test_single_link_weighted () =
+  let demands =
+    [
+      demand ~flow:1 ~weight:1. ~links:[ 0 ] ();
+      demand ~flow:2 ~weight:2. ~links:[ 0 ] ();
+      demand ~flow:3 ~weight:3. ~links:[ 0 ] ();
+    ]
+  in
+  let rates = solve ~capacities:[ (0, 600.) ] ~demands in
+  check_float "w1" 100. (assoc 1 rates);
+  check_float "w2" 200. (assoc 2 rates);
+  check_float "w3" 300. (assoc 3 rates)
+
+let test_classic_parking_lot () =
+  (* Flow 0 crosses both links; flows 1 and 2 one link each.
+     Unweighted max-min: each link splits 10 as 5/5. *)
+  let demands =
+    [
+      demand ~flow:0 ~weight:1. ~links:[ 0; 1 ] ();
+      demand ~flow:1 ~weight:1. ~links:[ 0 ] ();
+      demand ~flow:2 ~weight:1. ~links:[ 1 ] ();
+    ]
+  in
+  let rates = solve ~capacities:[ (0, 10.); (1, 10.) ] ~demands in
+  check_float "long flow" 5. (assoc 0 rates);
+  check_float "short flow 1" 5. (assoc 1 rates);
+  check_float "short flow 2" 5. (assoc 2 rates)
+
+let test_asymmetric_bottlenecks () =
+  (* Link 0 tight (6), link 1 loose (20). The long flow is limited by
+     link 0 to 3; the flow on link 1 picks up the slack: 17. *)
+  let demands =
+    [
+      demand ~flow:0 ~weight:1. ~links:[ 0; 1 ] ();
+      demand ~flow:1 ~weight:1. ~links:[ 0 ] ();
+      demand ~flow:2 ~weight:1. ~links:[ 1 ] ();
+    ]
+  in
+  let rates = solve ~capacities:[ (0, 6.); (1, 20.) ] ~demands in
+  check_float "long flow" 3. (assoc 0 rates);
+  check_float "tight-link flow" 3. (assoc 1 rates);
+  check_float "loose-link flow" 17. (assoc 2 rates)
+
+let test_paper_topology1_phases () =
+  (* Section 4.1 hand calculation: 15 flows -> 33.33 per unit weight;
+     20 flows -> 25 per unit weight (all links carry weight 20). *)
+  let weights = Workload.Figures.weights_s41 in
+  let span = function
+    | n when n >= 1 && n <= 5 -> [ 0 ]
+    | n when n >= 6 && n <= 8 -> [ 0; 1 ]
+    | 9 | 10 -> [ 0; 1; 2 ]
+    | 11 | 12 -> [ 1 ]
+    | n when n >= 13 && n <= 15 -> [ 1; 2 ]
+    | _ -> [ 2 ]
+  in
+  let capacities = [ (0, 500.); (1, 500.); (2, 500.) ] in
+  let all = List.init 20 (fun i -> i + 1) in
+  let demands_for ids =
+    List.map (fun i -> demand ~flow:i ~weight:(weights i) ~links:(span i) ()) ids
+  in
+  let rates20 = solve ~capacities ~demands:(demands_for all) in
+  List.iter
+    (fun i -> check_float (Printf.sprintf "flow %d @20" i) (25. *. weights i) (assoc i rates20))
+    all;
+  let absent = [ 1; 9; 10; 11; 16 ] in
+  let fifteen = List.filter (fun i -> not (List.mem i absent)) all in
+  let rates15 = solve ~capacities ~demands:(demands_for fifteen) in
+  List.iter
+    (fun i ->
+      check_float
+        (Printf.sprintf "flow %d @15" i)
+        (500. /. 15. *. weights i)
+        (assoc i rates15))
+    fifteen
+
+let test_floor_respected () =
+  let demands =
+    [
+      demand ~floor:50. ~flow:1 ~weight:1. ~links:[ 0 ] ();
+      demand ~flow:2 ~weight:1. ~links:[ 0 ] ();
+    ]
+  in
+  let rates = solve ~capacities:[ (0, 100.) ] ~demands in
+  (* Flow 1 gets its 50 plus half the residual 50. *)
+  check_float "contracted flow" 75. (assoc 1 rates);
+  check_float "best-effort flow" 25. (assoc 2 rates)
+
+let test_floor_oversubscription_rejected () =
+  let demands =
+    [
+      demand ~floor:80. ~flow:1 ~weight:1. ~links:[ 0 ] ();
+      demand ~floor:40. ~flow:2 ~weight:1. ~links:[ 0 ] ();
+    ]
+  in
+  Alcotest.check_raises "oversubscribed"
+    (Invalid_argument "Maxmin.solve: floors oversubscribe link 0") (fun () ->
+      ignore (solve ~capacities:[ (0, 100.) ] ~demands))
+
+let test_unknown_link_rejected () =
+  Alcotest.check_raises "unknown link" (Invalid_argument "Maxmin.solve: unknown link 5")
+    (fun () ->
+      ignore
+        (solve ~capacities:[ (0, 1.) ]
+           ~demands:[ demand ~flow:1 ~weight:1. ~links:[ 5 ] () ]))
+
+let test_demand_validation () =
+  Alcotest.check_raises "weight" (Invalid_argument "Maxmin.demand: weight must be positive")
+    (fun () -> ignore (demand ~flow:1 ~weight:0. ~links:[ 0 ] ()));
+  Alcotest.check_raises "no links" (Invalid_argument "Maxmin.demand: flow traverses no link")
+    (fun () -> ignore (demand ~flow:1 ~weight:1. ~links:[] ()));
+  Alcotest.check_raises "floor" (Invalid_argument "Maxmin.demand: negative floor")
+    (fun () -> ignore (demand ~floor:(-1.) ~flow:1 ~weight:1. ~links:[ 0 ] ()))
+
+let test_single_link_share () =
+  check_float "paper phase 1" (500. /. 15.)
+    (Fairness.Maxmin.single_link_share ~capacity:500.
+       ~weights:[ 2.; 2.; 2.; 3.; 2.; 2.; 2. ])
+
+(* Random networks: the allocation must be feasible and each flow must
+   have a bottleneck — a saturated link where its normalized rate is
+   maximal among the flows crossing it (the max-min optimality
+   condition). *)
+let random_instance =
+  QCheck.Gen.(
+    let* n_links = 1 -- 5 in
+    let* n_flows = 1 -- 8 in
+    let* capacities = list_repeat n_links (float_range 10. 1000.) in
+    let* flows =
+      list_repeat n_flows
+        (pair (float_range 0.5 5.)
+           (let* k = 1 -- n_links in
+            list_repeat k (0 -- (n_links - 1))))
+    in
+    return (capacities, flows))
+
+let prop_maxmin_feasible_and_bottlenecked =
+  QCheck.Test.make ~name:"maxmin allocations are feasible with per-flow bottlenecks"
+    ~count:300
+    (QCheck.make random_instance)
+    (fun (capacities, flows) ->
+      let capacities = List.mapi (fun i c -> (i, c)) capacities in
+      let demands =
+        List.mapi
+          (fun i (w, links) ->
+            demand ~flow:i ~weight:w ~links:(List.sort_uniq compare links) ())
+          flows
+      in
+      let rates = solve ~capacities ~demands in
+      let used = Hashtbl.create 8 in
+      List.iter2
+        (fun d (_, r) ->
+          List.iter
+            (fun l ->
+              Hashtbl.replace used l (r +. Option.value ~default:0. (Hashtbl.find_opt used l)))
+            d.Fairness.Maxmin.links)
+        demands rates;
+      let eps = 1e-6 in
+      let feasible =
+        List.for_all
+          (fun (l, c) -> Option.value ~default:0. (Hashtbl.find_opt used l) <= c +. eps)
+          capacities
+      in
+      let saturated l =
+        let c = List.assoc l capacities in
+        Option.value ~default:0. (Hashtbl.find_opt used l) >= c -. eps
+      in
+      let normalized i =
+        let d = List.nth demands i in
+        let _, r = List.nth rates i in
+        r /. d.Fairness.Maxmin.weight
+      in
+      let bottlenecked =
+        List.mapi
+          (fun i d ->
+            List.exists
+              (fun l ->
+                saturated l
+                && List.for_all
+                     (fun j ->
+                       let dj = List.nth demands j in
+                       (not (List.mem l dj.Fairness.Maxmin.links))
+                       || normalized j <= normalized i +. eps)
+                     (List.init (List.length demands) Fun.id))
+              d.Fairness.Maxmin.links)
+          demands
+        |> List.for_all Fun.id
+      in
+      feasible && bottlenecked)
+
+(* ------------------------------------------------------------------ *)
+(* Fluid model *)
+
+let fluid_flow ~id ~weight ~links = { Fairness.Fluid.id; weight; links }
+
+let test_fluid_single_link_weighted () =
+  let flows =
+    [
+      fluid_flow ~id:1 ~weight:1. ~links:[ 0 ];
+      fluid_flow ~id:2 ~weight:2. ~links:[ 0 ];
+      fluid_flow ~id:3 ~weight:3. ~links:[ 0 ];
+    ]
+  in
+  let result =
+    Fairness.Fluid.simulate ~capacities:[ (0, 600.) ] ~flows ~duration:600. ()
+  in
+  let final id = List.assoc id result.Fairness.Fluid.final in
+  check_float_eps 12. "flow 1 -> 100" 100. (final 1);
+  check_float_eps 15. "flow 2 -> 200" 200. (final 2);
+  check_float_eps 20. "flow 3 -> 300" 300. (final 3)
+
+let test_fluid_parking_lot_matches_maxmin () =
+  let flows =
+    [
+      fluid_flow ~id:0 ~weight:1. ~links:[ 0; 1 ];
+      fluid_flow ~id:1 ~weight:1. ~links:[ 0 ];
+      fluid_flow ~id:2 ~weight:1. ~links:[ 1 ];
+    ]
+  in
+  let capacities = [ (0, 300.); (1, 500.) ] in
+  let fluid = Fairness.Fluid.simulate ~capacities ~flows ~duration:800. () in
+  let reference =
+    Fairness.Maxmin.solve ~capacities
+      ~demands:
+        (List.map
+           (fun f ->
+             Fairness.Maxmin.demand ~flow:f.Fairness.Fluid.id
+               ~weight:f.Fairness.Fluid.weight ~links:f.Fairness.Fluid.links ())
+           flows)
+  in
+  List.iter
+    (fun (id, rate) ->
+      let expected = List.assoc id reference in
+      if Float.abs (rate -. expected) > 0.12 *. expected +. 5. then
+        Alcotest.fail
+          (Printf.sprintf "flow %d: fluid %.1f vs maxmin %.1f" id rate expected))
+    fluid.Fairness.Fluid.final
+
+let test_fluid_series_sampling () =
+  let flows = [ fluid_flow ~id:1 ~weight:1. ~links:[ 0 ] ] in
+  let result =
+    Fairness.Fluid.simulate ~capacities:[ (0, 100.) ] ~flows ~sample:2. ~duration:20. ()
+  in
+  let ts = List.assoc 1 result.Fairness.Fluid.series in
+  Alcotest.(check int) "10 samples at 2 s" 10 (Sim.Timeseries.length ts)
+
+let test_fluid_single_flow_saturates_link () =
+  let flows = [ fluid_flow ~id:1 ~weight:1. ~links:[ 0 ] ] in
+  let result =
+    Fairness.Fluid.simulate ~capacities:[ (0, 100.) ] ~flows ~duration:300. ()
+  in
+  check_float_eps 5. "oscillates at capacity" 100.
+    (List.assoc 1 result.Fairness.Fluid.final)
+
+let test_fluid_validation () =
+  Alcotest.check_raises "no flows" (Invalid_argument "Fluid.simulate: no flows")
+    (fun () ->
+      ignore (Fairness.Fluid.simulate ~capacities:[] ~flows:[] ~duration:1. ()));
+  Alcotest.check_raises "unknown link" (Invalid_argument "Fluid.simulate: unknown link 9")
+    (fun () ->
+      ignore
+        (Fairness.Fluid.simulate ~capacities:[ (0, 1.) ]
+           ~flows:[ fluid_flow ~id:1 ~weight:1. ~links:[ 9 ] ]
+           ~duration:1. ()))
+
+let prop_fluid_fixed_points_are_maxmin =
+  QCheck.Test.make ~name:"fluid model settles near the weighted max-min allocation"
+    ~count:25
+    (QCheck.make random_instance)
+    (fun (capacities, raw_flows) ->
+      let capacities = List.mapi (fun i c -> (i, c)) capacities in
+      let flows =
+        List.mapi
+          (fun i (w, links) ->
+            fluid_flow ~id:i ~weight:w ~links:(List.sort_uniq compare links))
+          raw_flows
+      in
+      let fluid = Fairness.Fluid.simulate ~capacities ~flows ~duration:2000. () in
+      let reference =
+        Fairness.Maxmin.solve ~capacities
+          ~demands:
+            (List.map
+               (fun f ->
+                 Fairness.Maxmin.demand ~flow:f.Fairness.Fluid.id
+                   ~weight:f.Fairness.Fluid.weight ~links:f.Fairness.Fluid.links ())
+               flows)
+      in
+      List.for_all
+        (fun (id, rate) ->
+          let expected = List.assoc id reference in
+          (* The probe term alpha keeps a sawtooth around the fixed
+             point; accept a generous band. *)
+          Float.abs (rate -. expected) <= (0.2 *. expected) +. 10.)
+        fluid.Fairness.Fluid.final)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_jain_perfect () =
+  check_float "proportional rates" 1.
+    (Fairness.Metrics.jain_index ~rates:[| 10.; 20.; 30. |] ~weights:[| 1.; 2.; 3. |])
+
+let test_jain_known_value () =
+  (* Normalized rates 1 and 3: (1+3)^2 / (2*(1+9)) = 16/20. *)
+  check_float "known" 0.8
+    (Fairness.Metrics.jain_index ~rates:[| 1.; 3. |] ~weights:[| 1.; 1. |])
+
+let test_jain_edge_cases () =
+  check_float "empty" 1. (Fairness.Metrics.jain_index ~rates:[||] ~weights:[||]);
+  check_float "all zero" 1.
+    (Fairness.Metrics.jain_index ~rates:[| 0.; 0. |] ~weights:[| 1.; 1. |]);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Metrics.jain_index: length mismatch") (fun () ->
+      ignore (Fairness.Metrics.jain_index ~rates:[| 1. |] ~weights:[||]))
+
+let test_mean_relative_error () =
+  check_float "mixed" 0.15
+    (Fairness.Metrics.mean_relative_error ~measured:[| 110.; 40. |]
+       ~expected:[| 100.; 50. |]);
+  check_float "zero expected ignored" 0.1
+    (Fairness.Metrics.mean_relative_error ~measured:[| 110.; 5. |]
+       ~expected:[| 100.; 0. |])
+
+let test_converged () =
+  Alcotest.(check bool) "within" true
+    (Fairness.Metrics.converged ~tolerance:0.2 ~measured:[| 90.; 110. |]
+       ~expected:[| 100.; 100. |]);
+  Alcotest.(check bool) "outside" false
+    (Fairness.Metrics.converged ~tolerance:0.05 ~measured:[| 90. |] ~expected:[| 100. |])
+
+let series_of points =
+  let ts = Sim.Timeseries.create () in
+  List.iter (fun (t, v) -> Sim.Timeseries.add ts t v) points;
+  ts
+
+let test_convergence_time () =
+  let ramp = List.init 21 (fun i -> (float_of_int i, Float.min 100. (10. *. float_of_int i))) in
+  let ts = series_of ramp in
+  (match Fairness.Metrics.convergence_time ~tolerance:0.1 ~hold:3. [ (ts, 100.) ] with
+  | Some t -> check_float "reaches 90 at t=9" 9. t
+  | None -> Alcotest.fail "expected convergence");
+  Alcotest.(check bool) "too strict: never" true
+    (Fairness.Metrics.convergence_time ~tolerance:0.1 ~hold:3.
+       [ (series_of [ (0., 0.); (1., 0.); (2., 0.) ], 100.) ]
+    = None)
+
+let test_convergence_needs_hold () =
+  (* Dips out of band reset the run. *)
+  let points =
+    [ (0., 100.); (1., 100.); (2., 0.); (3., 100.); (4., 100.); (5., 100.); (6., 100.) ]
+  in
+  match
+    Fairness.Metrics.convergence_time ~tolerance:0.1 ~hold:2. [ (series_of points, 100.) ]
+  with
+  | Some t -> check_float "after the dip" 3. t
+  | None -> Alcotest.fail "expected convergence"
+
+let test_utilization () =
+  check_float "sum over capacity" 0.9
+    (Fairness.Metrics.utilization ~rates:[| 200.; 250. |] ~capacity:500.)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "fairness"
+    [
+      ( "maxmin",
+        [
+          Alcotest.test_case "single link equal" `Quick test_single_link_equal_weights;
+          Alcotest.test_case "single link weighted" `Quick test_single_link_weighted;
+          Alcotest.test_case "parking lot" `Quick test_classic_parking_lot;
+          Alcotest.test_case "asymmetric bottlenecks" `Quick test_asymmetric_bottlenecks;
+          Alcotest.test_case "paper topology phases" `Quick test_paper_topology1_phases;
+          Alcotest.test_case "floors respected" `Quick test_floor_respected;
+          Alcotest.test_case "floor oversubscription" `Quick
+            test_floor_oversubscription_rejected;
+          Alcotest.test_case "unknown link" `Quick test_unknown_link_rejected;
+          Alcotest.test_case "demand validation" `Quick test_demand_validation;
+          Alcotest.test_case "single link share" `Quick test_single_link_share;
+          qt prop_maxmin_feasible_and_bottlenecked;
+        ] );
+      ( "fluid",
+        [
+          Alcotest.test_case "single link weighted" `Quick test_fluid_single_link_weighted;
+          Alcotest.test_case "parking lot matches maxmin" `Quick
+            test_fluid_parking_lot_matches_maxmin;
+          Alcotest.test_case "series sampling" `Quick test_fluid_series_sampling;
+          Alcotest.test_case "single flow saturates" `Quick
+            test_fluid_single_flow_saturates_link;
+          Alcotest.test_case "validation" `Quick test_fluid_validation;
+          qt prop_fluid_fixed_points_are_maxmin;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "jain perfect" `Quick test_jain_perfect;
+          Alcotest.test_case "jain known value" `Quick test_jain_known_value;
+          Alcotest.test_case "jain edge cases" `Quick test_jain_edge_cases;
+          Alcotest.test_case "mean relative error" `Quick test_mean_relative_error;
+          Alcotest.test_case "converged" `Quick test_converged;
+          Alcotest.test_case "convergence time" `Quick test_convergence_time;
+          Alcotest.test_case "convergence needs hold" `Quick test_convergence_needs_hold;
+          Alcotest.test_case "utilization" `Quick test_utilization;
+        ] );
+    ]

@@ -1,0 +1,887 @@
+(* Tests for the network substrate: packets, queue disciplines, links,
+   nodes, topology, flows and the adaptive source. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let mk_packet ?(id = 1) ?(flow = 1) ?(size = Net.Packet.default_size) () =
+  Net.Packet.make ~id ~flow ~size ~created:0. ()
+
+(* ------------------------------------------------------------------ *)
+(* Packet *)
+
+let test_packet_defaults () =
+  let p = mk_packet () in
+  Alcotest.(check int) "size" 1000 p.Net.Packet.size;
+  Alcotest.(check bool) "no marker" false (Net.Packet.has_marker p);
+  Alcotest.(check bool) "unlabelled" true (p.Net.Packet.label < 0.)
+
+let test_packet_marker () =
+  let marker = { Net.Packet.edge_id = 3; flow_id = 7; normalized_rate = 12.5 } in
+  let p = Net.Packet.make ~id:1 ~flow:7 ~marker ~created:1. () in
+  Alcotest.(check bool) "has marker" true (Net.Packet.has_marker p);
+  match p.Net.Packet.marker with
+  | Some m -> Alcotest.(check int) "flow id" 7 m.Net.Packet.flow_id
+  | None -> Alcotest.fail "marker lost"
+
+(* ------------------------------------------------------------------ *)
+(* Qdisc: droptail *)
+
+let test_droptail_fifo () =
+  let q = Net.Qdisc.droptail ~capacity:10 in
+  List.iter
+    (fun i -> ignore (q.Net.Qdisc.enqueue (mk_packet ~id:i ())))
+    [ 1; 2; 3 ];
+  let ids =
+    List.init 3 (fun _ ->
+        match q.Net.Qdisc.dequeue () with
+        | Some p -> p.Net.Packet.id
+        | None -> -1)
+  in
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] ids;
+  Alcotest.(check bool) "drained" true (q.Net.Qdisc.dequeue () = None)
+
+let test_droptail_capacity () =
+  let q = Net.Qdisc.droptail ~capacity:2 in
+  Alcotest.(check bool) "1 in" true (q.Net.Qdisc.enqueue (mk_packet ()) = Net.Qdisc.Enqueued);
+  Alcotest.(check bool) "2 in" true (q.Net.Qdisc.enqueue (mk_packet ()) = Net.Qdisc.Enqueued);
+  Alcotest.(check bool) "3 dropped" true (q.Net.Qdisc.enqueue (mk_packet ()) = Net.Qdisc.Dropped);
+  Alcotest.(check int) "length" 2 (q.Net.Qdisc.length ());
+  ignore (q.Net.Qdisc.dequeue ());
+  Alcotest.(check bool) "room again" true (q.Net.Qdisc.enqueue (mk_packet ()) = Net.Qdisc.Enqueued)
+
+let test_droptail_bytes () =
+  let q = Net.Qdisc.droptail ~capacity:10 in
+  ignore (q.Net.Qdisc.enqueue (mk_packet ~size:100 ()));
+  ignore (q.Net.Qdisc.enqueue (mk_packet ~size:200 ()));
+  Alcotest.(check int) "bytes" 300 (q.Net.Qdisc.bytes ());
+  ignore (q.Net.Qdisc.dequeue ());
+  Alcotest.(check int) "bytes after dequeue" 200 (q.Net.Qdisc.bytes ())
+
+let test_droptail_rejects_bad_capacity () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Qdisc.droptail: capacity must be positive") (fun () ->
+      ignore (Net.Qdisc.droptail ~capacity:0))
+
+(* ------------------------------------------------------------------ *)
+(* Qdisc: RED *)
+
+let red_qdisc ?(params = Net.Qdisc.default_red_params) () =
+  let now = ref 0. in
+  let q = Net.Qdisc.red ~params ~rng:(Sim.Rng.create 1) ~now:(fun () -> !now) () in
+  (q, now)
+
+let test_red_accepts_below_min () =
+  let q, _ = red_qdisc () in
+  for i = 1 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "packet %d accepted" i)
+      true
+      (q.Net.Qdisc.enqueue (mk_packet ()) = Net.Qdisc.Enqueued)
+  done
+
+let test_red_drops_above_max () =
+  (* Sustained full queue pushes the average over max_thresh and forces
+     drops. *)
+  let params =
+    { Net.Qdisc.default_red_params with Net.Qdisc.queue_weight = 0.5; max_thresh = 10. }
+  in
+  let q, _ = red_qdisc ~params () in
+  let dropped = ref 0 in
+  for _ = 1 to 50 do
+    if q.Net.Qdisc.enqueue (mk_packet ()) = Net.Qdisc.Dropped then incr dropped
+  done;
+  Alcotest.(check bool) "some early drops" true (!dropped > 0)
+
+let test_red_hard_limit () =
+  let params = { Net.Qdisc.default_red_params with Net.Qdisc.capacity = 5 } in
+  let q, _ = red_qdisc ~params () in
+  let accepted = ref 0 in
+  for _ = 1 to 20 do
+    if q.Net.Qdisc.enqueue (mk_packet ()) = Net.Qdisc.Enqueued then incr accepted
+  done;
+  Alcotest.(check bool) "never exceeds capacity" true (!accepted <= 5)
+
+let test_red_idle_decay () =
+  let params =
+    { Net.Qdisc.default_red_params with Net.Qdisc.queue_weight = 0.5; max_thresh = 8. }
+  in
+  let q, now = red_qdisc ~params () in
+  (* Build up the average... *)
+  for _ = 1 to 30 do
+    ignore (q.Net.Qdisc.enqueue (mk_packet ()))
+  done;
+  while q.Net.Qdisc.dequeue () <> None do
+    ()
+  done;
+  (* ...then stay idle long enough for it to decay away. *)
+  now := !now +. 10.;
+  Alcotest.(check bool) "accepted after idle" true
+    (q.Net.Qdisc.enqueue (mk_packet ()) = Net.Qdisc.Enqueued)
+
+(* ------------------------------------------------------------------ *)
+(* Qdisc: FRED *)
+
+let test_fred_bounds_hog_flow () =
+  let now = ref 0. in
+  let q = Net.Qdisc.fred ~rng:(Sim.Rng.create 2) ~now:(fun () -> !now) () in
+  (* A single flow trying to monopolize the buffer gets bounded well
+     below the hard capacity once its per-flow count passes maxq. *)
+  let accepted = ref 0 in
+  for i = 1 to 40 do
+    if q.Net.Qdisc.enqueue (mk_packet ~id:i ~flow:1 ()) = Net.Qdisc.Enqueued then
+      incr accepted
+  done;
+  Alcotest.(check bool) "hog bounded" true (!accepted < 40);
+  (* A newcomer with nothing queued still gets in (protected share). *)
+  Alcotest.(check bool) "newcomer accepted" true
+    (q.Net.Qdisc.enqueue (mk_packet ~id:100 ~flow:2 ()) = Net.Qdisc.Enqueued)
+
+let test_fred_forgets_inactive_flows () =
+  let now = ref 0. in
+  let q = Net.Qdisc.fred ~rng:(Sim.Rng.create 3) ~now:(fun () -> !now) () in
+  for i = 1 to 3 do
+    ignore (q.Net.Qdisc.enqueue (mk_packet ~id:i ~flow:1 ()))
+  done;
+  while q.Net.Qdisc.dequeue () <> None do
+    ()
+  done;
+  (* After draining, flow 1 has no per-flow state and is a newcomer. *)
+  Alcotest.(check bool) "re-admitted" true
+    (q.Net.Qdisc.enqueue (mk_packet ~id:9 ~flow:1 ()) = Net.Qdisc.Enqueued)
+
+(* ------------------------------------------------------------------ *)
+(* Qdisc: classful (multi-queue) *)
+
+let mk_class_pkt ~id ~micro () = Net.Packet.make ~id ~flow:1 ~micro ~created:0. ()
+
+let classify pkt = pkt.Net.Packet.micro
+
+let test_classful_priority_order () =
+  let q =
+    Net.Qdisc.classful ~classes:2 ~classify ~scheduler:Net.Qdisc.Priority ~capacity:10 ()
+  in
+  (* Low-priority first into the buffer, then high priority: the high
+     class is always served first. *)
+  ignore (q.Net.Qdisc.enqueue (mk_class_pkt ~id:1 ~micro:1 ()));
+  ignore (q.Net.Qdisc.enqueue (mk_class_pkt ~id:2 ~micro:0 ()));
+  ignore (q.Net.Qdisc.enqueue (mk_class_pkt ~id:3 ~micro:1 ()));
+  ignore (q.Net.Qdisc.enqueue (mk_class_pkt ~id:4 ~micro:0 ()));
+  let order =
+    List.init 4 (fun _ ->
+        match q.Net.Qdisc.dequeue () with Some p -> p.Net.Packet.id | None -> -1)
+  in
+  Alcotest.(check (list int)) "class 0 first" [ 2; 4; 1; 3 ] order
+
+let test_classful_wrr_proportions () =
+  let q =
+    Net.Qdisc.classful ~classes:2 ~classify
+      ~scheduler:(Net.Qdisc.Weighted_round_robin [| 2; 1 |])
+      ~capacity:100 ()
+  in
+  for i = 1 to 30 do
+    ignore (q.Net.Qdisc.enqueue (mk_class_pkt ~id:i ~micro:0 ()));
+    ignore (q.Net.Qdisc.enqueue (mk_class_pkt ~id:(100 + i) ~micro:1 ()))
+  done;
+  (* While both classes are backlogged, the 2:1 quanta give class 0 two
+     thirds of the service. *)
+  let class0 = ref 0 in
+  for _ = 1 to 30 do
+    match q.Net.Qdisc.dequeue () with
+    | Some p -> if p.Net.Packet.micro = 0 then incr class0
+    | None -> Alcotest.fail "queue drained early"
+  done;
+  Alcotest.(check int) "2/3 of service" 20 !class0
+
+let test_classful_aggregate_length () =
+  let q =
+    Net.Qdisc.classful ~classes:3 ~classify ~scheduler:Net.Qdisc.Priority ~capacity:5 ()
+  in
+  ignore (q.Net.Qdisc.enqueue (mk_class_pkt ~id:1 ~micro:0 ()));
+  ignore (q.Net.Qdisc.enqueue (mk_class_pkt ~id:2 ~micro:1 ()));
+  ignore (q.Net.Qdisc.enqueue (mk_class_pkt ~id:3 ~micro:2 ()));
+  Alcotest.(check int) "aggregate backlog" 3 (q.Net.Qdisc.length ());
+  Alcotest.(check int) "aggregate bytes" 3000 (q.Net.Qdisc.bytes ())
+
+let test_classful_per_class_capacity () =
+  let q =
+    Net.Qdisc.classful ~classes:2 ~classify ~scheduler:Net.Qdisc.Priority ~capacity:2 ()
+  in
+  ignore (q.Net.Qdisc.enqueue (mk_class_pkt ~id:1 ~micro:0 ()));
+  ignore (q.Net.Qdisc.enqueue (mk_class_pkt ~id:2 ~micro:0 ()));
+  Alcotest.(check bool) "class 0 full" true
+    (q.Net.Qdisc.enqueue (mk_class_pkt ~id:3 ~micro:0 ()) = Net.Qdisc.Dropped);
+  Alcotest.(check bool) "class 1 unaffected" true
+    (q.Net.Qdisc.enqueue (mk_class_pkt ~id:4 ~micro:1 ()) = Net.Qdisc.Enqueued)
+
+let test_classful_wrr_skips_empty_classes () =
+  let q =
+    Net.Qdisc.classful ~classes:3 ~classify
+      ~scheduler:(Net.Qdisc.Weighted_round_robin [| 5; 5; 5 |])
+      ~capacity:10 ()
+  in
+  ignore (q.Net.Qdisc.enqueue (mk_class_pkt ~id:7 ~micro:2 ()));
+  (match q.Net.Qdisc.dequeue () with
+  | Some p -> Alcotest.(check int) "served from the only busy class" 7 p.Net.Packet.id
+  | None -> Alcotest.fail "nothing served");
+  Alcotest.(check bool) "then empty" true (q.Net.Qdisc.dequeue () = None)
+
+let test_classful_validation () =
+  Alcotest.check_raises "classes" (Invalid_argument "Qdisc.classful: classes must be positive")
+    (fun () ->
+      ignore
+        (Net.Qdisc.classful ~classes:0 ~classify ~scheduler:Net.Qdisc.Priority
+           ~capacity:1 ()));
+  Alcotest.check_raises "quanta arity" (Invalid_argument "Qdisc.classful: one quantum per class")
+    (fun () ->
+      ignore
+        (Net.Qdisc.classful ~classes:2 ~classify
+           ~scheduler:(Net.Qdisc.Weighted_round_robin [| 1 |])
+           ~capacity:1 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Link and Topology *)
+
+(* One link between two nodes; returns (engine, topology, a, b, link). *)
+let simple_net ?(bandwidth = 8000.) ?(delay = 0.1) ?(capacity = 10) () =
+  let engine = Sim.Engine.create () in
+  let topology = Net.Topology.create engine in
+  let a = Net.Topology.add_node topology ~kind:Net.Node.Edge "A" in
+  let b = Net.Topology.add_node topology ~kind:Net.Node.Edge "B" in
+  let link =
+    Net.Topology.add_link topology ~src:a ~dst:b ~bandwidth ~delay
+      ~qdisc:(Net.Qdisc.droptail ~capacity)
+  in
+  (engine, topology, a, b, link)
+
+let test_link_delivery_timing () =
+  (* 1000-byte packet on 8000 bit/s: tx = 1 s, delay = 0.1 s. *)
+  let engine, _, _, b, link = simple_net () in
+  let arrival = ref nan in
+  Net.Node.set_sink b ~flow:1 (fun _ -> arrival := Sim.Engine.now engine);
+  Net.Link.send link (mk_packet ());
+  Sim.Engine.run engine;
+  check_float "tx + propagation" 1.1 !arrival
+
+let test_link_serializes () =
+  let engine, _, _, b, link = simple_net () in
+  let arrivals = ref [] in
+  Net.Node.set_sink b ~flow:1 (fun p ->
+      arrivals := (p.Net.Packet.id, Sim.Engine.now engine) :: !arrivals);
+  Net.Link.send link (mk_packet ~id:1 ());
+  Net.Link.send link (mk_packet ~id:2 ());
+  Sim.Engine.run engine;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "back to back" [ (1, 1.1); (2, 2.1) ] (List.rev !arrivals)
+
+let test_link_queue_overflow_drops () =
+  let engine, _, _, b, link = simple_net ~capacity:2 () in
+  Net.Node.set_sink b ~flow:1 (fun _ -> ());
+  let reasons = ref [] in
+  link.Net.Link.on_drop <- Some (fun reason _ -> reasons := reason :: !reasons);
+  (* One in service + 2 queued fit; the rest overflow. *)
+  for i = 1 to 6 do
+    Net.Link.send link (mk_packet ~id:i ())
+  done;
+  Sim.Engine.run engine;
+  Alcotest.(check int) "drops counted" 3 link.Net.Link.drops;
+  Alcotest.(check int) "delivered" 3 link.Net.Link.departures;
+  Alcotest.(check bool) "all overflow reasons" true
+    (List.for_all (fun r -> r = Net.Link.Queue_full) !reasons)
+
+let test_link_hook_filter_drop () =
+  let engine, _, _, b, link = simple_net () in
+  Net.Node.set_sink b ~flow:1 (fun _ -> ());
+  let reasons = ref [] in
+  link.Net.Link.on_drop <- Some (fun reason _ -> reasons := reason :: !reasons);
+  link.Net.Link.hooks <-
+    Some
+      {
+        Net.Link.on_arrival =
+          (fun p -> if p.Net.Packet.id mod 2 = 0 then Net.Link.Drop else Net.Link.Pass);
+        on_queue_change = (fun _ -> ());
+      };
+  for i = 1 to 4 do
+    Net.Link.send link (mk_packet ~id:i ())
+  done;
+  Sim.Engine.run engine;
+  Alcotest.(check int) "two filtered" 2 link.Net.Link.drops;
+  Alcotest.(check bool) "filtered reasons" true
+    (List.for_all (fun r -> r = Net.Link.Filtered) !reasons)
+
+let test_link_queue_change_hook () =
+  let engine, _, _, b, link = simple_net () in
+  Net.Node.set_sink b ~flow:1 (fun _ -> ());
+  let lengths = ref [] in
+  link.Net.Link.hooks <-
+    Some
+      {
+        Net.Link.on_arrival = (fun _ -> Net.Link.Pass);
+        on_queue_change = (fun n -> lengths := n :: !lengths);
+      };
+  for i = 1 to 3 do
+    Net.Link.send link (mk_packet ~id:i ())
+  done;
+  Sim.Engine.run engine;
+  (* First packet: enqueue (1) then immediate dequeue (0); then two
+     enqueues while busy, then their dequeues. *)
+  Alcotest.(check int) "final queue empty" 0 (List.hd !lengths);
+  Alcotest.(check bool) "observed buildup" true (List.mem 2 !lengths)
+
+let test_link_capacity_pps () =
+  let _, _, _, _, link = simple_net ~bandwidth:4_000_000. () in
+  check_float "500 pkt/s" 500. (Net.Link.capacity_pps link)
+
+let test_link_rejects_bad_args () =
+  let engine = Sim.Engine.create () in
+  Alcotest.check_raises "bandwidth" (Invalid_argument "Link.create: bandwidth must be positive")
+    (fun () ->
+      ignore
+        (Net.Link.create ~engine ~id:0 ~name:"x" ~src:0 ~dst:1 ~bandwidth:0. ~delay:0.
+           ~qdisc:(Net.Qdisc.droptail ~capacity:1)))
+
+let test_node_routes_and_sinks () =
+  let engine, topology, a, b, _ = simple_net () in
+  let got = ref [] in
+  Net.Topology.install_path topology ~flow:1 [ a; b ] ~sink:(fun p ->
+      got := p.Net.Packet.id :: !got);
+  Net.Node.receive a (mk_packet ~id:42 ());
+  Sim.Engine.run engine;
+  Alcotest.(check (list int)) "delivered through path" [ 42 ] !got
+
+let test_node_unknown_flow_fails () =
+  let _, _, a, _, _ = simple_net () in
+  Alcotest.check_raises "no route" (Failure "Node A: no route or sink for flow 9")
+    (fun () -> Net.Node.receive a (mk_packet ~flow:9 ()))
+
+let test_topology_duplicate_node () =
+  let engine = Sim.Engine.create () in
+  let topology = Net.Topology.create engine in
+  ignore (Net.Topology.add_node topology ~kind:Net.Node.Core "C1");
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Topology.add_node: duplicate node C1") (fun () ->
+      ignore (Net.Topology.add_node topology ~kind:Net.Node.Core "C1"))
+
+let test_topology_duplicate_link () =
+  let _, topology, a, b, _ = simple_net () in
+  Alcotest.check_raises "duplicate link"
+    (Invalid_argument "Topology.add_link: duplicate link A->B") (fun () ->
+      ignore
+        (Net.Topology.add_link topology ~src:a ~dst:b ~bandwidth:1. ~delay:0.
+           ~qdisc:(Net.Qdisc.droptail ~capacity:1)))
+
+let test_topology_path_helpers () =
+  let engine = Sim.Engine.create () in
+  let topology = Net.Topology.create engine in
+  let n name = Net.Topology.add_node topology ~kind:Net.Node.Core name in
+  let a = n "a" and b = n "b" and c = n "c" in
+  let link ~src ~dst delay =
+    ignore
+      (Net.Topology.add_link topology ~src ~dst ~bandwidth:1e6 ~delay
+         ~qdisc:(Net.Qdisc.droptail ~capacity:10))
+  in
+  link ~src:a ~dst:b 0.01;
+  link ~src:b ~dst:c 0.02;
+  Alcotest.(check int) "two hops" 2 (List.length (Net.Topology.path_links topology [ a; b; c ]));
+  check_float "total delay" 0.03 (Net.Topology.path_delay topology [ a; b; c ]);
+  Alcotest.(check bool) "find_link" true
+    (Net.Topology.find_link topology ~src:a ~dst:b <> None);
+  Alcotest.(check bool) "reverse missing" true
+    (Net.Topology.find_link topology ~src:b ~dst:a = None)
+
+let test_flow_validation () =
+  let _, _, a, b, _ = simple_net () in
+  Alcotest.check_raises "weight" (Invalid_argument "Flow.make: weight must be positive")
+    (fun () -> ignore (Net.Flow.make ~id:1 ~weight:0. ~path:[ a; b ]));
+  Alcotest.check_raises "short path" (Invalid_argument "Flow.make: path needs >= 2 nodes")
+    (fun () -> ignore (Net.Flow.make ~id:1 ~weight:1. ~path:[ a ]))
+
+let test_flow_upstream_delay () =
+  let engine = Sim.Engine.create () in
+  let topology = Net.Topology.create engine in
+  let n name = Net.Topology.add_node topology ~kind:Net.Node.Core name in
+  let a = n "a" and b = n "b" and c = n "c" in
+  let mk ~src ~dst delay =
+    Net.Topology.add_link topology ~src ~dst ~bandwidth:1e6 ~delay
+      ~qdisc:(Net.Qdisc.droptail ~capacity:10)
+  in
+  let l1 = mk ~src:a ~dst:b 0.01 in
+  let l2 = mk ~src:b ~dst:c 0.02 in
+  let flow = Net.Flow.make ~id:1 ~weight:1. ~path:[ a; b; c ] in
+  Alcotest.(check bool) "first hop: zero" true
+    (Net.Flow.upstream_delay flow topology l1 = Some 0.);
+  (match Net.Flow.upstream_delay flow topology l2 with
+  | Some d -> check_float "second hop" 0.01 d
+  | None -> Alcotest.fail "expected delay");
+  let other =
+    Net.Topology.add_link topology ~src:c ~dst:a ~bandwidth:1e6 ~delay:0.
+      ~qdisc:(Net.Qdisc.droptail ~capacity:10)
+  in
+  Alcotest.(check bool) "not on path" true
+    (Net.Flow.upstream_delay flow topology other = None)
+
+(* ------------------------------------------------------------------ *)
+(* Qdisc: DRR *)
+
+let test_drr_weighted_service () =
+  let q = Net.Qdisc.drr ~weight:(fun flow -> float_of_int flow) ~capacity:100 () in
+  (* Backlog flows 1 and 2 (weights 1:2), then drain: long-run service
+     must split 1:2. *)
+  for i = 1 to 30 do
+    ignore (q.Net.Qdisc.enqueue (mk_packet ~id:i ~flow:1 ()));
+    ignore (q.Net.Qdisc.enqueue (mk_packet ~id:(100 + i) ~flow:2 ()))
+  done;
+  let flow2 = ref 0 in
+  for _ = 1 to 30 do
+    match q.Net.Qdisc.dequeue () with
+    | Some p -> if p.Net.Packet.flow = 2 then incr flow2
+    | None -> Alcotest.fail "drained early"
+  done;
+  Alcotest.(check int) "2/3 of service to weight 2" 20 !flow2
+
+let test_drr_fifo_within_flow () =
+  let q = Net.Qdisc.drr ~weight:(fun _ -> 1.) ~capacity:10 () in
+  for i = 1 to 3 do
+    ignore (q.Net.Qdisc.enqueue (mk_packet ~id:i ~flow:7 ()))
+  done;
+  let order =
+    List.init 3 (fun _ ->
+        match q.Net.Qdisc.dequeue () with Some p -> p.Net.Packet.id | None -> -1)
+  in
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] order;
+  Alcotest.(check bool) "empty" true (q.Net.Qdisc.dequeue () = None)
+
+let test_drr_per_flow_capacity () =
+  let q = Net.Qdisc.drr ~weight:(fun _ -> 1.) ~capacity:2 () in
+  ignore (q.Net.Qdisc.enqueue (mk_packet ~id:1 ~flow:1 ()));
+  ignore (q.Net.Qdisc.enqueue (mk_packet ~id:2 ~flow:1 ()));
+  Alcotest.(check bool) "flow 1 full" true
+    (q.Net.Qdisc.enqueue (mk_packet ~id:3 ~flow:1 ()) = Net.Qdisc.Dropped);
+  Alcotest.(check bool) "flow 2 has its own queue" true
+    (q.Net.Qdisc.enqueue (mk_packet ~id:4 ~flow:2 ()) = Net.Qdisc.Enqueued);
+  Alcotest.(check int) "aggregate length" 3 (q.Net.Qdisc.length ())
+
+let test_drr_fractional_weight () =
+  (* Weight 0.5 vs 1: quantum 500 vs 1000 bytes with 1000-byte packets:
+     the light flow is served every other round: service 1:2. *)
+  let q =
+    Net.Qdisc.drr ~weight:(fun flow -> if flow = 1 then 0.5 else 1.) ~capacity:100 ()
+  in
+  for i = 1 to 30 do
+    ignore (q.Net.Qdisc.enqueue (mk_packet ~id:i ~flow:1 ()));
+    ignore (q.Net.Qdisc.enqueue (mk_packet ~id:(100 + i) ~flow:2 ()))
+  done;
+  let flow1 = ref 0 in
+  for _ = 1 to 30 do
+    match q.Net.Qdisc.dequeue () with
+    | Some p -> if p.Net.Packet.flow = 1 then incr flow1
+    | None -> Alcotest.fail "drained early"
+  done;
+  Alcotest.(check int) "1/3 of service to half weight" 10 !flow1
+
+let test_drr_validation () =
+  Alcotest.check_raises "capacity" (Invalid_argument "Qdisc.drr: capacity must be positive")
+    (fun () -> ignore (Net.Qdisc.drr ~weight:(fun _ -> 1.) ~capacity:0 ()));
+  let q = Net.Qdisc.drr ~weight:(fun _ -> 0.) ~capacity:1 () in
+  ignore (q.Net.Qdisc.enqueue (mk_packet ~id:1 ~flow:1 ()));
+  Alcotest.check_raises "weight" (Invalid_argument "Qdisc.drr: weight must be positive")
+    (fun () -> ignore (q.Net.Qdisc.dequeue ()))
+
+(* ------------------------------------------------------------------ *)
+(* Probe *)
+
+let test_probe_tracks_throughput_and_queue () =
+  (* 8000 bit/s, 1 KB packets: 1 packet/s service. Offer 4 packets at
+     t=0: the queue drains one per second. *)
+  let engine, _, _, b, link = simple_net ~capacity:10 () in
+  Net.Node.set_sink b ~flow:1 (fun _ -> ());
+  let probe = Net.Probe.attach ~engine ~period:1. link in
+  (* Send at t = 0.5 so departures (1.5, 2.5, 3.5, 4.5) fall strictly
+     between the probe's whole-second samples. *)
+  ignore
+    (Sim.Engine.schedule engine ~delay:0.5 (fun () ->
+         for i = 1 to 4 do
+           Net.Link.send link (mk_packet ~id:i ())
+         done));
+  Sim.Engine.run_until engine 6.;
+  let throughput = Sim.Timeseries.to_array (Net.Probe.throughput_series probe) in
+  (* Samples at 2..5 s each saw one departure. *)
+  Alcotest.(check bool) "served 1 pkt/s while busy" true
+    (Array.for_all
+       (fun (t, v) -> if t >= 2. && t <= 5. then v = 1. else v = 0.)
+       throughput);
+  Alcotest.(check int) "peak queue was 3 waiting" 3 (Net.Probe.peak_queue probe);
+  (* 4 packets in 6 seconds over a 1 pkt/s link. *)
+  Alcotest.(check bool) "utilization ~2/3" true
+    (Float.abs (Net.Probe.mean_utilization probe -. (4. /. 6.)) < 0.01)
+
+let test_probe_counts_drops () =
+  let engine, _, _, b, link = simple_net ~capacity:1 () in
+  Net.Node.set_sink b ~flow:1 (fun _ -> ());
+  let probe = Net.Probe.attach ~engine ~period:1. link in
+  for i = 1 to 5 do
+    Net.Link.send link (mk_packet ~id:i ())
+  done;
+  Sim.Engine.run_until engine 1.5;
+  (match Sim.Timeseries.to_array (Net.Probe.drop_series probe) with
+  | [||] -> Alcotest.fail "no sample"
+  | samples -> check_float "3 drops in the first second" 3. (snd samples.(0)));
+  Net.Probe.detach probe;
+  Sim.Engine.run_until engine 5.;
+  Alcotest.(check int) "no samples after detach" 1
+    (Sim.Timeseries.length (Net.Probe.drop_series probe))
+
+let test_probe_validation () =
+  let engine, _, _, _, link = simple_net () in
+  Alcotest.check_raises "bad period" (Invalid_argument "Probe.attach: period must be positive")
+    (fun () -> ignore (Net.Probe.attach ~engine ~period:0. link))
+
+(* ------------------------------------------------------------------ *)
+(* Routing *)
+
+(* A diamond with asymmetric delays:
+     a -> b (10ms) -> d (10ms)   total 20ms, 2 hops
+     a -> c (5ms)  -> d (5ms)    total 10ms, 2 hops
+     a -> d (50ms)               1 hop but slow *)
+let diamond () =
+  let engine = Sim.Engine.create () in
+  let topology = Net.Topology.create engine in
+  let n name = Net.Topology.add_node topology ~kind:Net.Node.Core name in
+  let a = n "a" and b = n "b" and c = n "c" and d = n "d" in
+  let link ~src ~dst delay =
+    ignore
+      (Net.Topology.add_link topology ~src ~dst ~bandwidth:1e6 ~delay
+         ~qdisc:(Net.Qdisc.droptail ~capacity:10))
+  in
+  link ~src:a ~dst:b 0.010;
+  link ~src:b ~dst:d 0.010;
+  link ~src:a ~dst:c 0.005;
+  link ~src:c ~dst:d 0.005;
+  link ~src:a ~dst:d 0.050;
+  (topology, a, b, c, d)
+
+let path_names = function
+  | Some nodes -> String.concat "-" (List.map (fun n -> n.Net.Node.name) nodes)
+  | None -> "(none)"
+
+let test_routing_picks_min_delay () =
+  let topology, a, _, _, d = diamond () in
+  Alcotest.(check string) "via c" "a-c-d"
+    (path_names (Net.Routing.shortest_path topology ~src:a ~dst:d))
+
+let test_routing_trivial_and_unreachable () =
+  let topology, a, b, _, d = diamond () in
+  Alcotest.(check string) "self" "a" (path_names (Net.Routing.shortest_path topology ~src:a ~dst:a));
+  (* No link enters [a]. *)
+  Alcotest.(check string) "unreachable" "(none)"
+    (path_names (Net.Routing.shortest_path topology ~src:d ~dst:a));
+  Alcotest.(check string) "one hop" "b-d"
+    (path_names (Net.Routing.shortest_path topology ~src:b ~dst:d))
+
+let test_routing_hop_tiebreak () =
+  (* Equal delay, different hop counts: prefer fewer hops. *)
+  let engine = Sim.Engine.create () in
+  let topology = Net.Topology.create engine in
+  let n name = Net.Topology.add_node topology ~kind:Net.Node.Core name in
+  let a = n "a" and b = n "b" and c = n "c" in
+  let link ~src ~dst delay =
+    ignore
+      (Net.Topology.add_link topology ~src ~dst ~bandwidth:1e6 ~delay
+         ~qdisc:(Net.Qdisc.droptail ~capacity:10))
+  in
+  link ~src:a ~dst:c 0.010;
+  link ~src:a ~dst:b 0.005;
+  link ~src:b ~dst:c 0.005;
+  Alcotest.(check string) "direct link wins the tie" "a-c"
+    (path_names (Net.Routing.shortest_path topology ~src:a ~dst:c))
+
+let test_routing_paths_from_consistent () =
+  let topology, a, b, c, d = diamond () in
+  let route = Net.Routing.paths_from topology ~src:a in
+  List.iter
+    (fun dst ->
+      Alcotest.(check string) ("to " ^ dst.Net.Node.name)
+        (path_names (Net.Routing.shortest_path topology ~src:a ~dst))
+        (path_names (route dst)))
+    [ a; b; c; d ]
+
+(* ------------------------------------------------------------------ *)
+(* Source *)
+
+let make_source ?(params = Net.Source.default_params) ?epoch_offset ~collect engine =
+  let sent = ref [] in
+  let src =
+    Net.Source.create ~engine ?epoch_offset ~params
+      ~emit:(fun ~now ~rate:_ -> sent := now :: !sent)
+      ~collect ()
+  in
+  (src, sent)
+
+let no_feedback () = 0
+
+let test_source_paces_at_rate () =
+  let engine = Sim.Engine.create () in
+  let params =
+    { Net.Source.default_params with Net.Source.initial_rate = 10.; ss_thresh = 5. }
+  in
+  (* initial >= ss_thresh puts the source directly in linear mode; with
+     no feedback it climbs by alpha per epoch, so count only early
+     packets. *)
+  let src, sent = make_source ~params ~collect:no_feedback engine in
+  Net.Source.start src;
+  Sim.Engine.run_until engine 0.49;
+  Net.Source.stop src;
+  (* 10 pkt/s for ~0.5 s -> 5-6 sends (first fires immediately). *)
+  Alcotest.(check bool) "roughly paced" true
+    (List.length !sent >= 5 && List.length !sent <= 7)
+
+let test_source_slow_start_doubles () =
+  let engine = Sim.Engine.create () in
+  let src, _ = make_source ~collect:no_feedback engine in
+  Net.Source.start src;
+  Alcotest.(check bool) "starts in slow-start" true (Net.Source.phase src = Net.Source.Slow_start);
+  check_float "initial rate" 1. (Net.Source.rate src);
+  Sim.Engine.run_until engine 1.05;
+  check_float "doubled once" 2. (Net.Source.rate src);
+  Sim.Engine.run_until engine 3.05;
+  check_float "doubled thrice" 8. (Net.Source.rate src)
+
+let test_source_slow_start_threshold_exit () =
+  let engine = Sim.Engine.create () in
+  let src, _ = make_source ~collect:no_feedback engine in
+  Net.Source.start src;
+  (* 1 -> 2 -> 4 -> 8 -> 16 -> 32 -> (64 > 32: halve, exit). *)
+  Sim.Engine.run_until engine 5.95;
+  check_float "still doubling" 32. (Net.Source.rate src);
+  Alcotest.(check bool) "still slow-start" true
+    (Net.Source.phase src = Net.Source.Slow_start);
+  Sim.Engine.run_until engine 6.05;
+  Alcotest.(check bool) "exited" true (Net.Source.phase src = Net.Source.Linear);
+  (* An adaptation epoch also ends at exactly t = 6, adding alpha. *)
+  check_float "halved back (plus one epoch tick)" 33. (Net.Source.rate src)
+
+let test_source_congestion_exits_slow_start () =
+  let engine = Sim.Engine.create () in
+  let src, _ = make_source ~collect:no_feedback engine in
+  Net.Source.start src;
+  Sim.Engine.run_until engine 2.5;
+  check_float "rate before" 4. (Net.Source.rate src);
+  Net.Source.signal_congestion src;
+  Alcotest.(check bool) "linear now" true (Net.Source.phase src = Net.Source.Linear);
+  check_float "halved" 2. (Net.Source.rate src);
+  (* No further doubling. *)
+  Sim.Engine.run_until engine 6.;
+  Alcotest.(check bool) "rate grew linearly" true (Net.Source.rate src < 32.)
+
+let test_source_linear_increase () =
+  let engine = Sim.Engine.create () in
+  let params =
+    { Net.Source.default_params with Net.Source.initial_rate = 40.; ss_thresh = 32. }
+  in
+  let src, _ = make_source ~params ~collect:no_feedback engine in
+  Net.Source.start src;
+  Sim.Engine.run_until engine 2.01;
+  (* 4 epochs of 0.5 s -> +4. *)
+  check_float "alpha per epoch" 44. (Net.Source.rate src)
+
+let test_source_decrease_on_feedback () =
+  let engine = Sim.Engine.create () in
+  let pending = ref 0 in
+  let collect () =
+    let m = !pending in
+    pending := 0;
+    m
+  in
+  let params =
+    { Net.Source.default_params with Net.Source.initial_rate = 40.; ss_thresh = 32. }
+  in
+  let sent = ref [] in
+  let src =
+    Net.Source.create ~engine ~params
+      ~emit:(fun ~now ~rate:_ -> sent := now :: !sent)
+      ~collect ()
+  in
+  Net.Source.start src;
+  ignore (Sim.Engine.schedule engine ~delay:0.4 (fun () -> pending := 5));
+  Sim.Engine.run_until engine 0.55;
+  (* One epoch with m = 5: 40 - 5*beta = 35. *)
+  check_float "beta decrease" 35. (Net.Source.rate src)
+
+let test_source_floor_clamps_decrease () =
+  let engine = Sim.Engine.create () in
+  let pending = ref 0 in
+  let collect () =
+    let m = !pending in
+    pending := 0;
+    m
+  in
+  let params =
+    {
+      Net.Source.default_params with
+      Net.Source.initial_rate = 40.;
+      ss_thresh = 32.;
+      floor = 30.;
+    }
+  in
+  let src =
+    Net.Source.create ~engine ~params ~emit:(fun ~now:_ ~rate:_ -> ()) ~collect ()
+  in
+  Net.Source.start src;
+  ignore (Sim.Engine.schedule engine ~delay:0.4 (fun () -> pending := 100));
+  Sim.Engine.run_until engine 0.55;
+  check_float "clamped to contract floor" 30. (Net.Source.rate src)
+
+let test_source_restart_resets () =
+  let engine = Sim.Engine.create () in
+  let src, _ = make_source ~collect:no_feedback engine in
+  Net.Source.start src;
+  Sim.Engine.run_until engine 4.1;
+  Net.Source.stop src;
+  Alcotest.(check bool) "stopped" false (Net.Source.running src);
+  Net.Source.start src;
+  check_float "rate reset" 1. (Net.Source.rate src);
+  Alcotest.(check bool) "slow-start again" true
+    (Net.Source.phase src = Net.Source.Slow_start)
+
+let test_source_stop_stops_emitting () =
+  let engine = Sim.Engine.create () in
+  let src, sent = make_source ~collect:no_feedback engine in
+  Net.Source.start src;
+  Sim.Engine.run_until engine 2.;
+  Net.Source.stop src;
+  let count = List.length !sent in
+  Sim.Engine.run_until engine 10.;
+  Alcotest.(check int) "no more sends" count (List.length !sent)
+
+let test_source_emitted_counts_across_restarts () =
+  let engine = Sim.Engine.create () in
+  let src, _ = make_source ~collect:no_feedback engine in
+  Net.Source.start src;
+  Sim.Engine.run_until engine 2.;
+  Net.Source.stop src;
+  let first_life = Net.Source.emitted src in
+  Net.Source.start src;
+  Sim.Engine.run_until engine 4.;
+  Alcotest.(check bool) "keeps counting" true (Net.Source.emitted src > first_life)
+
+let test_source_rejects_bad_offset () =
+  let engine = Sim.Engine.create () in
+  Alcotest.check_raises "offset >= epoch"
+    (Invalid_argument "Source.create: epoch_offset out of [0, epoch)") (fun () ->
+      ignore
+        (Net.Source.create ~engine ~epoch_offset:1.
+           ~params:Net.Source.default_params
+           ~emit:(fun ~now:_ ~rate:_ -> ())
+           ~collect:no_feedback ()))
+
+let test_source_epoch_offset_shifts_adaptation () =
+  let engine = Sim.Engine.create () in
+  let params =
+    { Net.Source.default_params with Net.Source.initial_rate = 40.; ss_thresh = 32. }
+  in
+  let src, _ = make_source ~params ~epoch_offset:0.25 ~collect:no_feedback engine in
+  Net.Source.start src;
+  Sim.Engine.run_until engine 0.6;
+  (* Epoch boundary at 0.75, not 0.5: rate unchanged so far. *)
+  check_float "no tick yet" 40. (Net.Source.rate src);
+  Sim.Engine.run_until engine 0.8;
+  check_float "tick at 0.75" 41. (Net.Source.rate src)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "defaults" `Quick test_packet_defaults;
+          Alcotest.test_case "marker" `Quick test_packet_marker;
+        ] );
+      ( "droptail",
+        [
+          Alcotest.test_case "fifo" `Quick test_droptail_fifo;
+          Alcotest.test_case "capacity" `Quick test_droptail_capacity;
+          Alcotest.test_case "bytes" `Quick test_droptail_bytes;
+          Alcotest.test_case "bad capacity" `Quick test_droptail_rejects_bad_capacity;
+        ] );
+      ( "red",
+        [
+          Alcotest.test_case "accepts below min" `Quick test_red_accepts_below_min;
+          Alcotest.test_case "drops above max" `Quick test_red_drops_above_max;
+          Alcotest.test_case "hard limit" `Quick test_red_hard_limit;
+          Alcotest.test_case "idle decay" `Quick test_red_idle_decay;
+        ] );
+      ( "fred",
+        [
+          Alcotest.test_case "bounds hog flow" `Quick test_fred_bounds_hog_flow;
+          Alcotest.test_case "forgets inactive flows" `Quick
+            test_fred_forgets_inactive_flows;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "delivery timing" `Quick test_link_delivery_timing;
+          Alcotest.test_case "serialization" `Quick test_link_serializes;
+          Alcotest.test_case "overflow drops" `Quick test_link_queue_overflow_drops;
+          Alcotest.test_case "hook filter" `Quick test_link_hook_filter_drop;
+          Alcotest.test_case "queue change hook" `Quick test_link_queue_change_hook;
+          Alcotest.test_case "capacity pps" `Quick test_link_capacity_pps;
+          Alcotest.test_case "bad args" `Quick test_link_rejects_bad_args;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "route and sink" `Quick test_node_routes_and_sinks;
+          Alcotest.test_case "unknown flow" `Quick test_node_unknown_flow_fails;
+          Alcotest.test_case "duplicate node" `Quick test_topology_duplicate_node;
+          Alcotest.test_case "duplicate link" `Quick test_topology_duplicate_link;
+          Alcotest.test_case "path helpers" `Quick test_topology_path_helpers;
+          Alcotest.test_case "flow validation" `Quick test_flow_validation;
+          Alcotest.test_case "upstream delay" `Quick test_flow_upstream_delay;
+        ] );
+      ( "drr",
+        [
+          Alcotest.test_case "weighted service" `Quick test_drr_weighted_service;
+          Alcotest.test_case "fifo within flow" `Quick test_drr_fifo_within_flow;
+          Alcotest.test_case "per-flow capacity" `Quick test_drr_per_flow_capacity;
+          Alcotest.test_case "fractional weight" `Quick test_drr_fractional_weight;
+          Alcotest.test_case "validation" `Quick test_drr_validation;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "throughput and queue" `Quick
+            test_probe_tracks_throughput_and_queue;
+          Alcotest.test_case "drops and detach" `Quick test_probe_counts_drops;
+          Alcotest.test_case "validation" `Quick test_probe_validation;
+        ] );
+      ( "classful",
+        [
+          Alcotest.test_case "priority order" `Quick test_classful_priority_order;
+          Alcotest.test_case "wrr proportions" `Quick test_classful_wrr_proportions;
+          Alcotest.test_case "aggregate length" `Quick test_classful_aggregate_length;
+          Alcotest.test_case "per-class capacity" `Quick test_classful_per_class_capacity;
+          Alcotest.test_case "wrr skips empty" `Quick test_classful_wrr_skips_empty_classes;
+          Alcotest.test_case "validation" `Quick test_classful_validation;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "min delay" `Quick test_routing_picks_min_delay;
+          Alcotest.test_case "trivial and unreachable" `Quick
+            test_routing_trivial_and_unreachable;
+          Alcotest.test_case "hop tiebreak" `Quick test_routing_hop_tiebreak;
+          Alcotest.test_case "paths_from consistent" `Quick
+            test_routing_paths_from_consistent;
+        ] );
+      ( "source",
+        [
+          Alcotest.test_case "paces at rate" `Quick test_source_paces_at_rate;
+          Alcotest.test_case "slow-start doubles" `Quick test_source_slow_start_doubles;
+          Alcotest.test_case "ss-thresh exit" `Quick test_source_slow_start_threshold_exit;
+          Alcotest.test_case "congestion exits ss" `Quick
+            test_source_congestion_exits_slow_start;
+          Alcotest.test_case "linear increase" `Quick test_source_linear_increase;
+          Alcotest.test_case "beta decrease" `Quick test_source_decrease_on_feedback;
+          Alcotest.test_case "floor clamp" `Quick test_source_floor_clamps_decrease;
+          Alcotest.test_case "restart resets" `Quick test_source_restart_resets;
+          Alcotest.test_case "stop stops" `Quick test_source_stop_stops_emitting;
+          Alcotest.test_case "emitted counter" `Quick
+            test_source_emitted_counts_across_restarts;
+          Alcotest.test_case "bad offset" `Quick test_source_rejects_bad_offset;
+          Alcotest.test_case "epoch offset" `Quick test_source_epoch_offset_shifts_adaptation;
+        ] );
+    ]

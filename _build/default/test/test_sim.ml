@@ -1,0 +1,572 @@
+(* Tests for the discrete-event engine and its support modules. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_float_eps eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* Event_queue *)
+
+let test_queue_empty () =
+  let q = Sim.Event_queue.create () in
+  Alcotest.(check bool) "empty" true (Sim.Event_queue.is_empty q);
+  Alcotest.(check int) "length" 0 (Sim.Event_queue.length q);
+  Alcotest.(check bool) "pop none" true (Sim.Event_queue.pop q = None);
+  Alcotest.(check bool) "peek none" true (Sim.Event_queue.peek_key q = None)
+
+let drain_values q =
+  let rec loop acc =
+    match Sim.Event_queue.pop q with
+    | Some (_, _, v) -> loop (v :: acc)
+    | None -> List.rev acc
+  in
+  loop []
+
+let test_queue_orders_by_key () =
+  let q = Sim.Event_queue.create () in
+  List.iteri
+    (fun i key -> Sim.Event_queue.add q ~key ~seq:i key)
+    [ 5.; 1.; 3.; 2.; 4. ];
+  Alcotest.(check (list (float 0.))) "sorted" [ 1.; 2.; 3.; 4.; 5. ] (drain_values q)
+
+let test_queue_fifo_on_ties () =
+  let q = Sim.Event_queue.create () in
+  for i = 1 to 5 do
+    Sim.Event_queue.add q ~key:7. ~seq:i i
+  done;
+  Alcotest.(check (list int)) "insertion order" [ 1; 2; 3; 4; 5 ] (drain_values q)
+
+let test_queue_peek_matches_pop () =
+  let q = Sim.Event_queue.create () in
+  Sim.Event_queue.add q ~key:2. ~seq:1 "b";
+  Sim.Event_queue.add q ~key:1. ~seq:2 "a";
+  (match Sim.Event_queue.peek_key q with
+  | Some (k, s) ->
+    check_float "peek key" 1. k;
+    Alcotest.(check int) "peek seq" 2 s
+  | None -> Alcotest.fail "expected peek");
+  Alcotest.(check int) "peek does not remove" 2 (Sim.Event_queue.length q)
+
+let test_queue_interleaved_grow () =
+  (* Force several growth cycles with interleaved pops. *)
+  let q = Sim.Event_queue.create () in
+  let seq = ref 0 in
+  for round = 0 to 9 do
+    for i = 0 to 99 do
+      incr seq;
+      Sim.Event_queue.add q ~key:(float_of_int ((i * 31) mod 100)) ~seq:!seq round
+    done;
+    for _ = 0 to 49 do
+      ignore (Sim.Event_queue.pop q)
+    done
+  done;
+  Alcotest.(check int) "length" 500 (Sim.Event_queue.length q)
+
+let prop_queue_sorted =
+  QCheck.Test.make ~name:"event_queue pops keys in nondecreasing order" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.))
+    (fun keys ->
+      let q = Sim.Event_queue.create () in
+      List.iteri (fun i k -> Sim.Event_queue.add q ~key:k ~seq:i ()) keys;
+      let rec drain last =
+        match Sim.Event_queue.pop q with
+        | None -> true
+        | Some (k, _, ()) -> k >= last && drain k
+      in
+      drain neg_infinity)
+
+let prop_queue_preserves_multiset =
+  QCheck.Test.make ~name:"event_queue preserves the multiset of keys" ~count:200
+    QCheck.(list (float_bound_inclusive 100.))
+    (fun keys ->
+      let q = Sim.Event_queue.create () in
+      List.iteri (fun i k -> Sim.Event_queue.add q ~key:k ~seq:i ()) keys;
+      let rec drain acc =
+        match Sim.Event_queue.pop q with
+        | None -> acc
+        | Some (k, _, ()) -> drain (k :: acc)
+      in
+      List.sort compare (drain []) = List.sort compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_runs_in_time_order () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  let note tag () = log := (tag, Sim.Engine.now e) :: !log in
+  ignore (Sim.Engine.schedule e ~delay:2. (note "b"));
+  ignore (Sim.Engine.schedule e ~delay:1. (note "a"));
+  ignore (Sim.Engine.schedule e ~delay:3. (note "c"));
+  Sim.Engine.run e;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "order and clock" [ ("a", 1.); ("b", 2.); ("c", 3.) ] (List.rev !log)
+
+let test_engine_nested_scheduling () =
+  let e = Sim.Engine.create () in
+  let fired = ref [] in
+  ignore
+    (Sim.Engine.schedule e ~delay:1. (fun () ->
+         fired := "outer" :: !fired;
+         ignore
+           (Sim.Engine.schedule e ~delay:0.5 (fun () -> fired := "inner" :: !fired))));
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !fired);
+  check_float "clock at end" 1.5 (Sim.Engine.now e)
+
+let test_engine_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let h = Sim.Engine.schedule e ~delay:1. (fun () -> fired := true) in
+  Sim.Engine.cancel h;
+  Alcotest.(check bool) "is_cancelled" true (Sim.Engine.is_cancelled h);
+  Sim.Engine.run e;
+  Alcotest.(check bool) "did not fire" false !fired
+
+let test_engine_cancel_from_event () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let h = Sim.Engine.schedule e ~delay:2. (fun () -> fired := true) in
+  ignore (Sim.Engine.schedule e ~delay:1. (fun () -> Sim.Engine.cancel h));
+  Sim.Engine.run e;
+  Alcotest.(check bool) "cancelled mid-run" false !fired
+
+let test_engine_every () =
+  let e = Sim.Engine.create () in
+  let times = ref [] in
+  let h = Sim.Engine.every e ~period:1. (fun () -> times := Sim.Engine.now e :: !times) in
+  ignore (Sim.Engine.schedule e ~delay:3.5 (fun () -> Sim.Engine.cancel h));
+  Sim.Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "three ticks" [ 1.; 2.; 3. ] (List.rev !times)
+
+let test_engine_every_start () =
+  let e = Sim.Engine.create () in
+  let times = ref [] in
+  let h =
+    Sim.Engine.every e ~start:0.25 ~period:0.5 (fun () ->
+        times := Sim.Engine.now e :: !times)
+  in
+  Sim.Engine.run_until e 1.6;
+  Sim.Engine.cancel h;
+  Alcotest.(check (list (float 1e-9)))
+    "phase-shifted ticks" [ 0.25; 0.75; 1.25 ] (List.rev !times)
+
+let test_engine_run_until () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  ignore (Sim.Engine.every e ~period:1. (fun () -> incr count));
+  Sim.Engine.run_until e 5.5;
+  Alcotest.(check int) "five ticks" 5 !count;
+  check_float "clock advanced to limit" 5.5 (Sim.Engine.now e);
+  Sim.Engine.run_until e 7.;
+  Alcotest.(check int) "two more" 7 !count
+
+let test_engine_rejects_bad_times () =
+  let e = Sim.Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      ignore (Sim.Engine.schedule e ~delay:(-1.) (fun () -> ())));
+  Alcotest.check_raises "nan delay"
+    (Invalid_argument "Engine.schedule: time not finite") (fun () ->
+      ignore (Sim.Engine.schedule e ~delay:nan (fun () -> ())));
+  ignore (Sim.Engine.schedule e ~delay:1. (fun () -> ()));
+  Sim.Engine.run e;
+  Alcotest.check_raises "past time"
+    (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+      ignore (Sim.Engine.schedule_at e ~time:0.5 (fun () -> ())));
+  Alcotest.check_raises "bad period"
+    (Invalid_argument "Engine.every: period must be positive") (fun () ->
+      ignore (Sim.Engine.every e ~period:0. (fun () -> ())))
+
+let test_engine_pending () =
+  let e = Sim.Engine.create () in
+  Alcotest.(check int) "initially empty" 0 (Sim.Engine.pending e);
+  ignore (Sim.Engine.schedule e ~delay:1. (fun () -> ()));
+  ignore (Sim.Engine.schedule e ~delay:2. (fun () -> ()));
+  Alcotest.(check int) "two pending" 2 (Sim.Engine.pending e);
+  ignore (Sim.Engine.step e);
+  Alcotest.(check int) "one left" 1 (Sim.Engine.pending e)
+
+let test_engine_simultaneous_fifo () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 4 do
+    ignore (Sim.Engine.schedule e ~delay:1. (fun () -> log := i :: !log))
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "fifo among equals" [ 1; 2; 3; 4 ] (List.rev !log)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create 123 and b = Sim.Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.bits64 a) (Sim.Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Sim.Rng.create 1 and b = Sim.Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Sim.Rng.bits64 a <> Sim.Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_split_independent () =
+  let parent = Sim.Rng.create 7 in
+  let child = Sim.Rng.split parent in
+  (* Drawing from the child must not change the parent's future. *)
+  let parent2 = Sim.Rng.create 7 in
+  let _ = Sim.Rng.split parent2 in
+  for _ = 1 to 8 do
+    ignore (Sim.Rng.bits64 child)
+  done;
+  for _ = 1 to 8 do
+    Alcotest.(check int64) "parent unaffected" (Sim.Rng.bits64 parent2)
+      (Sim.Rng.bits64 parent)
+  done
+
+let test_rng_int_bounds () =
+  let r = Sim.Rng.create 99 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.int r 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "out of range"
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Sim.Rng.int r 0))
+
+let test_rng_int_covers_range () =
+  let r = Sim.Rng.create 5 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Sim.Rng.int r 5) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_rng_float_unit () =
+  let r = Sim.Rng.create 11 in
+  let sum = ref 0. in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let v = Sim.Rng.float r 1. in
+    if v < 0. || v >= 1. then Alcotest.fail "float out of [0,1)";
+    sum := !sum +. v
+  done;
+  check_float_eps 0.02 "mean near 1/2" 0.5 (!sum /. float_of_int n)
+
+let test_rng_bernoulli () =
+  let r = Sim.Rng.create 13 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Sim.Rng.bernoulli r 0.3 then incr hits
+  done;
+  check_float_eps 0.02 "p estimate" 0.3 (float_of_int !hits /. float_of_int n);
+  Alcotest.(check bool) "p=1 always" true (Sim.Rng.bernoulli r 1.);
+  Alcotest.(check bool) "p=0 never" false (Sim.Rng.bernoulli r 0.)
+
+let test_rng_exponential_mean () =
+  let r = Sim.Rng.create 17 in
+  let sum = ref 0. in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Sim.Rng.exponential r ~mean:2. in
+    if v < 0. then Alcotest.fail "negative exponential";
+    sum := !sum +. v
+  done;
+  check_float_eps 0.1 "mean near 2" 2. (!sum /. float_of_int n)
+
+let test_rng_pareto () =
+  let r = Sim.Rng.create 19 in
+  let sum = ref 0. in
+  let n = 100_000 in
+  let scale = 2. *. (2.5 -. 1.) /. 2.5 in
+  for _ = 1 to n do
+    let v = Sim.Rng.pareto r ~shape:2.5 ~mean:2. in
+    if v < scale -. 1e-9 then Alcotest.fail "below scale";
+    sum := !sum +. v
+  done;
+  check_float_eps 0.1 "mean near 2" 2. (!sum /. float_of_int n);
+  Alcotest.check_raises "shape 1" (Invalid_argument "Rng.pareto: shape must exceed 1")
+    (fun () -> ignore (Sim.Rng.pareto r ~shape:1. ~mean:1.))
+
+let test_rng_shuffle_permutation () =
+  let r = Sim.Rng.create 23 in
+  let a = Array.init 20 Fun.id in
+  Sim.Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_time_weighted_constant () =
+  let tw = Sim.Stats.Time_weighted.create ~now:0. ~init:3. in
+  check_float "average of constant" 3. (Sim.Stats.Time_weighted.average tw ~now:10.)
+
+let test_time_weighted_step () =
+  let tw = Sim.Stats.Time_weighted.create ~now:0. ~init:0. in
+  Sim.Stats.Time_weighted.set tw ~now:5. 10.;
+  (* 0 for 5 s then 10 for 5 s -> average 5 *)
+  check_float "step average" 5. (Sim.Stats.Time_weighted.average tw ~now:10.)
+
+let test_time_weighted_reset () =
+  let tw = Sim.Stats.Time_weighted.create ~now:0. ~init:4. in
+  Sim.Stats.Time_weighted.set tw ~now:2. 8.;
+  Sim.Stats.Time_weighted.reset tw ~now:4.;
+  (* After reset only the post-reset window counts; value carried over. *)
+  check_float "value carries over" 8. (Sim.Stats.Time_weighted.value tw);
+  check_float "fresh window" 8. (Sim.Stats.Time_weighted.average tw ~now:6.)
+
+let test_time_weighted_empty_window () =
+  let tw = Sim.Stats.Time_weighted.create ~now:1. ~init:7. in
+  check_float "zero-length window returns value" 7.
+    (Sim.Stats.Time_weighted.average tw ~now:1.)
+
+let test_time_weighted_rejects_backwards () =
+  let tw = Sim.Stats.Time_weighted.create ~now:5. ~init:0. in
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Time_weighted.set: time went backwards") (fun () ->
+      Sim.Stats.Time_weighted.set tw ~now:4. 1.)
+
+let test_ewma_first_sample () =
+  let e = Sim.Stats.Ewma.create ~gain:0.5 in
+  Alcotest.(check bool) "not initialized" false (Sim.Stats.Ewma.is_initialized e);
+  Sim.Stats.Ewma.update e 10.;
+  check_float "first sample initializes" 10. (Sim.Stats.Ewma.value e)
+
+let test_ewma_converges () =
+  let e = Sim.Stats.Ewma.create ~gain:0.5 in
+  Sim.Stats.Ewma.update e 0.;
+  for _ = 1 to 30 do
+    Sim.Stats.Ewma.update e 100.
+  done;
+  check_float_eps 0.01 "converged" 100. (Sim.Stats.Ewma.value e)
+
+let test_ewma_formula () =
+  let e = Sim.Stats.Ewma.create ~gain:0.25 in
+  Sim.Stats.Ewma.update e 8.;
+  Sim.Stats.Ewma.update e 0.;
+  check_float "one step: 8 + 0.25*(0-8)" 6. (Sim.Stats.Ewma.value e)
+
+let test_ewma_rejects_bad_gain () =
+  Alcotest.check_raises "gain 0" (Invalid_argument "Ewma.create: gain out of (0, 1]")
+    (fun () -> ignore (Sim.Stats.Ewma.create ~gain:0.));
+  Alcotest.check_raises "gain 2" (Invalid_argument "Ewma.create: gain out of (0, 1]")
+    (fun () -> ignore (Sim.Stats.Ewma.create ~gain:2.))
+
+let test_welford () =
+  let w = Sim.Stats.Welford.create () in
+  List.iter (Sim.Stats.Welford.add w) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Sim.Stats.Welford.count w);
+  check_float "mean" 5. (Sim.Stats.Welford.mean w);
+  check_float_eps 1e-9 "sample variance" (32. /. 7.) (Sim.Stats.Welford.variance w)
+
+let test_welford_degenerate () =
+  let w = Sim.Stats.Welford.create () in
+  check_float "variance of empty" 0. (Sim.Stats.Welford.variance w);
+  Sim.Stats.Welford.add w 5.;
+  check_float "variance of singleton" 0. (Sim.Stats.Welford.variance w)
+
+let prop_welford_mean_matches_naive =
+  QCheck.Test.make ~name:"welford mean equals naive mean" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_inclusive 100.))
+    (fun xs ->
+      let w = Sim.Stats.Welford.create () in
+      List.iter (Sim.Stats.Welford.add w) xs;
+      let naive = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+      Float.abs (Sim.Stats.Welford.mean w -. naive) < 1e-6)
+
+let test_quantile_small_samples_exact () =
+  let q = Sim.Stats.Quantile.create ~q:0.5 in
+  check_float "empty" 0. (Sim.Stats.Quantile.estimate q);
+  Sim.Stats.Quantile.add q 10.;
+  check_float "single" 10. (Sim.Stats.Quantile.estimate q);
+  Sim.Stats.Quantile.add q 2.;
+  Sim.Stats.Quantile.add q 6.;
+  (* Median of {2, 6, 10}. *)
+  check_float "exact median of three" 6. (Sim.Stats.Quantile.estimate q);
+  Alcotest.(check int) "count" 3 (Sim.Stats.Quantile.count q)
+
+let test_quantile_median_uniform () =
+  let q = Sim.Stats.Quantile.create ~q:0.5 in
+  let r = Sim.Rng.create 31 in
+  for _ = 1 to 20_000 do
+    Sim.Stats.Quantile.add q (Sim.Rng.float r 100.)
+  done;
+  check_float_eps 2. "median of U(0,100)" 50. (Sim.Stats.Quantile.estimate q)
+
+let test_quantile_p99_uniform () =
+  let q = Sim.Stats.Quantile.create ~q:0.99 in
+  let r = Sim.Rng.create 37 in
+  for _ = 1 to 50_000 do
+    Sim.Stats.Quantile.add q (Sim.Rng.float r 1.)
+  done;
+  check_float_eps 0.01 "p99 of U(0,1)" 0.99 (Sim.Stats.Quantile.estimate q)
+
+let test_quantile_p90_exponential () =
+  (* P90 of Exp(mean 2) is -2 ln(0.1) ~= 4.605. *)
+  let q = Sim.Stats.Quantile.create ~q:0.9 in
+  let r = Sim.Rng.create 41 in
+  for _ = 1 to 50_000 do
+    Sim.Stats.Quantile.add q (Sim.Rng.exponential r ~mean:2.)
+  done;
+  check_float_eps 0.25 "p90 of Exp(2)" 4.605 (Sim.Stats.Quantile.estimate q)
+
+let test_quantile_validation () =
+  Alcotest.check_raises "q=0" (Invalid_argument "Quantile.create: q out of (0, 1)")
+    (fun () -> ignore (Sim.Stats.Quantile.create ~q:0.));
+  Alcotest.check_raises "q=1" (Invalid_argument "Quantile.create: q out of (0, 1)")
+    (fun () -> ignore (Sim.Stats.Quantile.create ~q:1.))
+
+let prop_quantile_close_to_exact =
+  QCheck.Test.make ~name:"P2 estimate lands inside the sample range near the true quantile"
+    ~count:100
+    QCheck.(pair (list_of_size Gen.(50 -- 400) (float_bound_inclusive 1000.)) (float_range 0.1 0.9))
+    (fun (xs, target) ->
+      let q = Sim.Stats.Quantile.create ~q:target in
+      List.iter (Sim.Stats.Quantile.add q) xs;
+      let sorted = List.sort compare xs in
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      let exact = arr.(Stdlib.min (n - 1) (int_of_float (target *. float_of_int n))) in
+      let estimate = Sim.Stats.Quantile.estimate q in
+      (* Coarse agreement: within the interquantile band +-15 ranks. *)
+      let lo = arr.(Stdlib.max 0 (int_of_float (target *. float_of_int n) - 15)) in
+      let hi = arr.(Stdlib.min (n - 1) (int_of_float (target *. float_of_int n) + 15)) in
+      ignore exact;
+      estimate >= lo -. 1e-6 && estimate <= hi +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries *)
+
+let make_series points =
+  let ts = Sim.Timeseries.create ~name:"t" () in
+  List.iter (fun (t, v) -> Sim.Timeseries.add ts t v) points;
+  ts
+
+let test_timeseries_basic () =
+  let ts = make_series [ (0., 1.); (1., 2.); (2., 3.) ] in
+  Alcotest.(check int) "length" 3 (Sim.Timeseries.length ts);
+  Alcotest.(check string) "name" "t" (Sim.Timeseries.name ts);
+  Alcotest.(check bool) "last" true (Sim.Timeseries.last ts = Some (2., 3.))
+
+let test_timeseries_window_mean () =
+  let ts = make_series [ (0., 10.); (1., 20.); (2., 30.); (3., 40.) ] in
+  (match Sim.Timeseries.window_mean ts ~from:1. ~until:2. with
+  | Some m -> check_float "mean of middle" 25. m
+  | None -> Alcotest.fail "expected mean");
+  Alcotest.(check bool) "empty window" true
+    (Sim.Timeseries.window_mean ts ~from:10. ~until:20. = None)
+
+let test_timeseries_value_at () =
+  let ts = make_series [ (1., 10.); (2., 20.); (4., 40.) ] in
+  Alcotest.(check bool) "before first" true (Sim.Timeseries.value_at ts 0.5 = None);
+  Alcotest.(check bool) "exact" true (Sim.Timeseries.value_at ts 2. = Some 20.);
+  Alcotest.(check bool) "between" true (Sim.Timeseries.value_at ts 3. = Some 20.);
+  Alcotest.(check bool) "after last" true (Sim.Timeseries.value_at ts 9. = Some 40.)
+
+let test_timeseries_smooth () =
+  let ts = make_series [ (0., 0.); (1., 10.); (2., 20.); (3., 30.) ] in
+  let s = Sim.Timeseries.smooth ts ~window:1.5 in
+  let arr = Sim.Timeseries.to_array s in
+  check_float "first sample unchanged" 0. (snd arr.(0));
+  check_float "trailing mean of two" 5. (snd arr.(1));
+  check_float "trailing mean of two (later)" 25. (snd arr.(3))
+
+let test_timeseries_smooth_zero_window () =
+  let ts = make_series [ (0., 1.); (1., 5.) ] in
+  let s = Sim.Timeseries.smooth ts ~window:0. in
+  Alcotest.(check bool) "identity" true
+    (Sim.Timeseries.to_array s = Sim.Timeseries.to_array ts)
+
+let prop_value_at_matches_scan =
+  QCheck.Test.make ~name:"value_at matches linear scan" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 30) (float_bound_inclusive 100.))
+        (float_bound_inclusive 120.))
+    (fun (raw, query) ->
+      let times = List.sort_uniq compare raw in
+      let ts = make_series (List.map (fun t -> (t, t *. 2.)) times) in
+      let expected =
+        List.fold_left (fun acc t -> if t <= query then Some (t *. 2.) else acc) None times
+      in
+      Sim.Timeseries.value_at ts query = expected)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "event_queue",
+        [
+          Alcotest.test_case "empty queue" `Quick test_queue_empty;
+          Alcotest.test_case "orders by key" `Quick test_queue_orders_by_key;
+          Alcotest.test_case "fifo on ties" `Quick test_queue_fifo_on_ties;
+          Alcotest.test_case "peek matches pop" `Quick test_queue_peek_matches_pop;
+          Alcotest.test_case "interleaved grow" `Quick test_queue_interleaved_grow;
+          qt prop_queue_sorted;
+          qt prop_queue_preserves_multiset;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_engine_runs_in_time_order;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "cancel from event" `Quick test_engine_cancel_from_event;
+          Alcotest.test_case "every" `Quick test_engine_every;
+          Alcotest.test_case "every with start" `Quick test_engine_every_start;
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "rejects bad times" `Quick test_engine_rejects_bad_times;
+          Alcotest.test_case "pending" `Quick test_engine_pending;
+          Alcotest.test_case "simultaneous fifo" `Quick test_engine_simultaneous_fifo;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int covers range" `Quick test_rng_int_covers_range;
+          Alcotest.test_case "float uniform" `Quick test_rng_float_unit;
+          Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "pareto" `Quick test_rng_pareto;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "tw constant" `Quick test_time_weighted_constant;
+          Alcotest.test_case "tw step" `Quick test_time_weighted_step;
+          Alcotest.test_case "tw reset" `Quick test_time_weighted_reset;
+          Alcotest.test_case "tw empty window" `Quick test_time_weighted_empty_window;
+          Alcotest.test_case "tw backwards" `Quick test_time_weighted_rejects_backwards;
+          Alcotest.test_case "ewma first sample" `Quick test_ewma_first_sample;
+          Alcotest.test_case "ewma converges" `Quick test_ewma_converges;
+          Alcotest.test_case "ewma formula" `Quick test_ewma_formula;
+          Alcotest.test_case "ewma bad gain" `Quick test_ewma_rejects_bad_gain;
+          Alcotest.test_case "welford" `Quick test_welford;
+          Alcotest.test_case "welford degenerate" `Quick test_welford_degenerate;
+          qt prop_welford_mean_matches_naive;
+          Alcotest.test_case "quantile small samples" `Quick
+            test_quantile_small_samples_exact;
+          Alcotest.test_case "quantile median uniform" `Quick test_quantile_median_uniform;
+          Alcotest.test_case "quantile p99 uniform" `Quick test_quantile_p99_uniform;
+          Alcotest.test_case "quantile p90 exponential" `Quick
+            test_quantile_p90_exponential;
+          Alcotest.test_case "quantile validation" `Quick test_quantile_validation;
+          qt prop_quantile_close_to_exact;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "basic" `Quick test_timeseries_basic;
+          Alcotest.test_case "window mean" `Quick test_timeseries_window_mean;
+          Alcotest.test_case "value_at" `Quick test_timeseries_value_at;
+          Alcotest.test_case "smooth" `Quick test_timeseries_smooth;
+          Alcotest.test_case "smooth zero window" `Quick
+            test_timeseries_smooth_zero_window;
+          qt prop_value_at_matches_scan;
+        ] );
+    ]

@@ -1,0 +1,630 @@
+(* Tests for the evaluation workload layer: Topology 1 construction,
+   the experiment runner, figure specs, sweeps, and CSV export. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let ids n = List.init n (fun i -> i + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Network builders *)
+
+let test_topology1_structure () =
+  let engine = Sim.Engine.create () in
+  let net = Workload.Network.topology1 ~engine ~weights:(fun _ -> 1.) () in
+  Alcotest.(check int) "20 flows" 20 (List.length net.Workload.Network.flows);
+  Alcotest.(check int) "3 congested links" 3
+    (List.length net.Workload.Network.core_links);
+  (* 4 cores + 20 ingress + 20 egress edges. *)
+  Alcotest.(check int) "44 nodes" 44
+    (List.length (Net.Topology.nodes net.Workload.Network.topology));
+  (* 3 core links + 40 access links. *)
+  Alcotest.(check int) "43 links" 43
+    (List.length (Net.Topology.links net.Workload.Network.topology))
+
+let test_topology1_rtts () =
+  (* One-way propagation: 3 hops = 120 ms (RTT 240), 4 hops = 160 ms
+     (RTT 320), 5 hops = 200 ms (RTT 400) — the paper's RTT classes. *)
+  let engine = Sim.Engine.create () in
+  let net = Workload.Network.topology1 ~engine ~weights:(fun _ -> 1.) () in
+  let one_way id =
+    let flow = Workload.Network.flow net id in
+    Net.Topology.path_delay net.Workload.Network.topology flow.Net.Flow.path
+  in
+  check_float "flow 1 (single link)" 0.12 (one_way 1);
+  check_float "flow 11 (single link)" 0.12 (one_way 11);
+  check_float "flow 16 (single link)" 0.12 (one_way 16);
+  check_float "flow 6 (two links)" 0.16 (one_way 6);
+  check_float "flow 13 (two links)" 0.16 (one_way 13);
+  check_float "flow 9 (three links)" 0.2 (one_way 9)
+
+let test_topology1_weights_applied () =
+  let engine = Sim.Engine.create () in
+  let net =
+    Workload.Network.topology1 ~engine ~weights:Workload.Figures.weights_s41 ()
+  in
+  let w id = (Workload.Network.flow net id).Net.Flow.weight in
+  check_float "flow 5" 3. (w 5);
+  check_float "flow 15" 3. (w 15);
+  check_float "flow 1" 1. (w 1);
+  check_float "flow 2" 2. (w 2)
+
+let test_topology1_subset () =
+  let engine = Sim.Engine.create () in
+  let net =
+    Workload.Network.topology1 ~engine ~flow_ids:(ids 10)
+      ~weights:Workload.Figures.weights_s42 ()
+  in
+  Alcotest.(check int) "10 flows" 10 (List.length net.Workload.Network.flows);
+  Alcotest.check_raises "flow 11 absent" Not_found (fun () ->
+      ignore (Workload.Network.flow net 11))
+
+let test_expected_rates_phases () =
+  let engine = Sim.Engine.create () in
+  let net =
+    Workload.Network.topology1 ~engine ~weights:Workload.Figures.weights_s41 ()
+  in
+  let all = ids 20 in
+  let absent = [ 1; 9; 10; 11; 16 ] in
+  let fifteen = List.filter (fun i -> not (List.mem i absent)) all in
+  let at20 = Workload.Network.expected_rates net ~active:all in
+  List.iter
+    (fun i ->
+      check_float
+        (Printf.sprintf "flow %d @20" i)
+        (25. *. Workload.Figures.weights_s41 i)
+        (List.assoc i at20))
+    all;
+  let at15 = Workload.Network.expected_rates net ~active:fifteen in
+  check_float "per-unit 33.33 @15" (500. /. 15. *. 2.) (List.assoc 2 at15)
+
+let test_single_bottleneck_structure () =
+  let engine = Sim.Engine.create () in
+  let net = Workload.Network.single_bottleneck ~engine ~weights:(fun _ -> 1.) 5 in
+  Alcotest.(check int) "5 flows" 5 (List.length net.Workload.Network.flows);
+  Alcotest.(check int) "one congested link" 1
+    (List.length net.Workload.Network.core_links);
+  Alcotest.check_raises "needs flows"
+    (Invalid_argument "Network.single_bottleneck: need at least one flow") (fun () ->
+      ignore (Workload.Network.single_bottleneck ~engine:(Sim.Engine.create ()) ~weights:(fun _ -> 1.) 0))
+
+let test_link_capacities () =
+  let engine = Sim.Engine.create () in
+  let net = Workload.Network.single_bottleneck ~engine ~weights:(fun _ -> 1.) 2 in
+  List.iter
+    (fun (_, c) -> check_float "500 pkt/s each" 500. c)
+    (Workload.Network.link_capacities net)
+
+let test_random_network_structure () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create 7 in
+  let flows = [ (1, 1.); (2, 2.); (3, 1.5) ] in
+  let net = Workload.Network.random ~engine ~rng ~cores:5 ~extra_links:4 ~flows () in
+  Alcotest.(check int) "3 flows" 3 (List.length net.Workload.Network.flows);
+  (* Every flow's path is wired: consecutive nodes are linked, ingress
+     and egress are edge nodes, intermediates are cores. *)
+  List.iter
+    (fun flow ->
+      let path = flow.Net.Flow.path in
+      Alcotest.(check bool) "path installs" true
+        (List.length (Net.Topology.path_links net.Workload.Network.topology path) >= 2);
+      Alcotest.(check bool) "ingress is edge" true (Net.Node.is_edge (Net.Flow.ingress flow));
+      Alcotest.(check bool) "egress is edge" true (Net.Node.is_edge (Net.Flow.egress flow)))
+    net.Workload.Network.flows;
+  (* All links are policed in random networks. *)
+  Alcotest.(check int) "core_links covers everything"
+    (List.length (Net.Topology.links net.Workload.Network.topology))
+    (List.length net.Workload.Network.core_links);
+  Alcotest.check_raises "needs 2 cores"
+    (Invalid_argument "Network.random: need at least two cores") (fun () ->
+      ignore
+        (Workload.Network.random ~engine:(Sim.Engine.create ()) ~rng ~cores:1
+           ~extra_links:0 ~flows ()))
+
+(* ------------------------------------------------------------------ *)
+(* Runner *)
+
+let small_run ?(scheme = Workload.Runner.Corelite Corelite.Params.default) ?(seed = 42)
+    ?(duration = 30.) () =
+  let engine = Sim.Engine.create () in
+  let network = Workload.Network.single_bottleneck ~engine ~weights:(fun _ -> 1.) 3 in
+  let schedule = List.init 3 (fun i -> (0., Workload.Runner.Start (i + 1))) in
+  Workload.Runner.run ~scheme ~network ~seed ~schedule ~duration ()
+
+let test_runner_sampling_grid () =
+  let result = small_run () in
+  List.iter
+    (fun (_, ts) -> Alcotest.(check int) "30 samples" 30 (Sim.Timeseries.length ts))
+    result.Workload.Runner.rate_series;
+  let times = Array.map fst (Sim.Timeseries.to_array (snd (List.hd result.Workload.Runner.rate_series))) in
+  check_float "first sample at 1 s" 1. times.(0);
+  check_float "last sample at 30 s" 30. times.(29)
+
+let test_runner_cumulative_monotone () =
+  let result = small_run () in
+  List.iter
+    (fun (_, ts) ->
+      let last = ref neg_infinity in
+      Sim.Timeseries.iter ts (fun _ v ->
+          if v < !last then Alcotest.fail "cumulative series decreased";
+          last := v))
+    result.Workload.Runner.cumulative
+
+let test_runner_deterministic () =
+  let a = small_run ~seed:7 () in
+  let b = small_run ~seed:7 () in
+  List.iter2
+    (fun (ida, tsa) (idb, tsb) ->
+      Alcotest.(check int) "same flow" ida idb;
+      Alcotest.(check bool) "identical series" true
+        (Sim.Timeseries.to_array tsa = Sim.Timeseries.to_array tsb))
+    a.Workload.Runner.rate_series b.Workload.Runner.rate_series
+
+let test_runner_seed_changes_run () =
+  (* Randomness only manifests once the bottleneck congests (selector
+     draws, epoch offsets), so use enough flows to congest quickly. *)
+  let congested_run seed =
+    let engine = Sim.Engine.create () in
+    let network =
+      Workload.Network.single_bottleneck ~engine ~weights:(fun _ -> 1.) 8
+    in
+    let schedule = List.init 8 (fun i -> (0., Workload.Runner.Start (i + 1))) in
+    Workload.Runner.run ~scheme:(Workload.Runner.Corelite Corelite.Params.default)
+      ~network ~seed ~schedule ~duration:40. ()
+  in
+  let flat r =
+    List.concat_map
+      (fun (_, ts) -> Array.to_list (Sim.Timeseries.to_array ts))
+      r.Workload.Runner.rate_series
+  in
+  Alcotest.(check bool) "different seeds differ" true
+    (flat (congested_run 1) <> flat (congested_run 2))
+
+let test_runner_stop_action () =
+  let engine = Sim.Engine.create () in
+  let network = Workload.Network.single_bottleneck ~engine ~weights:(fun _ -> 1.) 2 in
+  let schedule =
+    [
+      (0., Workload.Runner.Start 1);
+      (0., Workload.Runner.Start 2);
+      (10., Workload.Runner.Stop 2);
+    ]
+  in
+  let result =
+    Workload.Runner.run ~scheme:(Workload.Runner.Corelite Corelite.Params.default)
+      ~network ~schedule ~duration:20. ()
+  in
+  let rate2 = Workload.Runner.mean_rate result ~flow:2 ~from:15. ~until:20. in
+  check_float "stopped flow samples zero" 0. rate2;
+  Alcotest.(check bool) "flow 1 alive" true
+    (Workload.Runner.mean_rate result ~flow:1 ~from:15. ~until:20. > 0.)
+
+let test_runner_mean_rate_unknown_flow () =
+  let result = small_run () in
+  Alcotest.(check bool) "nan for unknown" true
+    (Float.is_nan (Workload.Runner.mean_rate result ~flow:99 ~from:0. ~until:30.))
+
+let test_scheme_names () =
+  Alcotest.(check string) "corelite" "corelite"
+    (Workload.Runner.scheme_name (Workload.Runner.Corelite Corelite.Params.default));
+  Alcotest.(check string) "csfq" "csfq"
+    (Workload.Runner.scheme_name (Workload.Runner.Csfq Csfq.Params.default))
+
+(* ------------------------------------------------------------------ *)
+(* Figures *)
+
+let test_figures_all_present () =
+  let specs = Workload.Figures.all () in
+  Alcotest.(check (list string)) "ids"
+    [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10" ]
+    (List.map (fun s -> s.Workload.Figures.id) specs)
+
+let test_figures_schemes () =
+  let scheme_of id =
+    let spec = List.find (fun s -> s.Workload.Figures.id = id) (Workload.Figures.all ()) in
+    Workload.Runner.scheme_name spec.Workload.Figures.scheme
+  in
+  List.iter
+    (fun id -> Alcotest.(check string) id "corelite" (scheme_of id))
+    [ "fig3"; "fig4"; "fig5"; "fig7"; "fig9" ];
+  List.iter
+    (fun id -> Alcotest.(check string) id "csfq" (scheme_of id))
+    [ "fig6"; "fig8"; "fig10" ]
+
+let test_figures_schedules_within_duration () =
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun (t, _) ->
+          if t < 0. || t > spec.Workload.Figures.duration then
+            Alcotest.fail
+              (Printf.sprintf "%s: event at %.1f outside run" spec.Workload.Figures.id t))
+        spec.Workload.Figures.schedule;
+      List.iter
+        (fun p ->
+          if
+            p.Workload.Figures.from_t >= p.Workload.Figures.until_t
+            || p.Workload.Figures.until_t > spec.Workload.Figures.duration
+          then Alcotest.fail (spec.Workload.Figures.id ^ ": bad phase window"))
+        spec.Workload.Figures.phases)
+    (Workload.Figures.all ())
+
+let test_figures_weights_match_paper () =
+  (* Section 4.1: flows 5, 15 -> 3; 1, 11, 16 -> 1; rest 2. *)
+  check_float "s41 flow 5" 3. (Workload.Figures.weights_s41 5);
+  check_float "s41 flow 10" 2. (Workload.Figures.weights_s41 10);
+  check_float "s41 flow 16" 1. (Workload.Figures.weights_s41 16);
+  (* Section 4.3 adds flow 10 -> 3. *)
+  check_float "s43 flow 10" 3. (Workload.Figures.weights_s43 10);
+  (* Section 4.2: ceil(i/2). *)
+  check_float "s42 flow 1" 1. (Workload.Figures.weights_s42 1);
+  check_float "s42 flow 2" 1. (Workload.Figures.weights_s42 2);
+  check_float "s42 flow 9" 5. (Workload.Figures.weights_s42 9);
+  check_float "s42 flow 10" 5. (Workload.Figures.weights_s42 10)
+
+let test_fig9_schedule_churn () =
+  let spec = Workload.Figures.fig9 () in
+  (* Flow i: start at i, stop at i+60, restart at i+65. *)
+  let events_of i =
+    List.filter_map
+      (fun (t, a) ->
+        match a with
+        | Workload.Runner.Start f when f = i -> Some ("start", t)
+        | Workload.Runner.Stop f when f = i -> Some ("stop", t)
+        | _ -> None)
+      spec.Workload.Figures.schedule
+  in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "flow 7 lifecycle"
+    [ ("start", 7.); ("stop", 67.); ("start", 72.) ]
+    (events_of 7)
+
+let test_summarize_short_run () =
+  (* A miniature spec keeps the test fast while exercising the whole
+     summarize pipeline. *)
+  let spec = Workload.Figures.fig5 () in
+  let spec = { spec with Workload.Figures.duration = 30. } in
+  let spec =
+    {
+      spec with
+      Workload.Figures.phases =
+        [
+          {
+            Workload.Figures.label = "early";
+            from_t = 20.;
+            until_t = 30.;
+            active = ids 10;
+          };
+        ];
+    }
+  in
+  let result = Workload.Figures.run spec in
+  let summary = Workload.Figures.summarize spec result in
+  Alcotest.(check int) "one phase" 1
+    (List.length summary.Workload.Figures.phase_summaries);
+  let ps = List.hd summary.Workload.Figures.phase_summaries in
+  Alcotest.(check int) "10 rows" 10 (List.length ps.Workload.Figures.rows);
+  Alcotest.(check bool) "jain in (0,1]" true
+    (ps.Workload.Figures.jain > 0. && ps.Workload.Figures.jain <= 1.);
+  (* pp_summary renders without raising. *)
+  Workload.Figures.pp_summary (Format.make_formatter (fun _ _ _ -> ()) ignore) summary
+
+(* ------------------------------------------------------------------ *)
+(* Sweeps *)
+
+let test_sweep_point_runs () =
+  let p = Workload.Sweeps.run_point ~label:"base" Corelite.Params.default in
+  Alcotest.(check string) "label" "base" p.Workload.Sweeps.label;
+  Alcotest.(check bool) "fair" true (p.Workload.Sweeps.jain > 0.98);
+  Alcotest.(check bool) "error bounded" true (p.Workload.Sweeps.mean_error < 0.2)
+
+let test_sweep_latency_override () =
+  let p =
+    Workload.Sweeps.run_point ~delay:0.002 ~label:"lowlat" Corelite.Params.default
+  in
+  Alcotest.(check bool) "still fair at 2 ms" true (p.Workload.Sweeps.jain > 0.98)
+
+(* ------------------------------------------------------------------ *)
+(* Blaster *)
+
+let test_blaster_paces_and_counts () =
+  let engine = Sim.Engine.create () in
+  let network = Workload.Network.single_bottleneck ~engine ~weights:(fun _ -> 1.) 1 in
+  let blaster = Workload.Blaster.attach ~network ~flow:1 ~rate:100. () in
+  Sim.Engine.run_until engine 10.;
+  Alcotest.(check bool) "sent ~1000" true (abs (Workload.Blaster.sent blaster - 1000) <= 2);
+  Workload.Blaster.stop blaster;
+  let frozen = Workload.Blaster.sent blaster in
+  (* Drain the ~12 packets still in flight (120 ms path at 100 pkt/s),
+     then everything must have arrived. *)
+  Sim.Engine.run_until engine 11.;
+  check_float "all survive" 1. (Workload.Blaster.survival blaster);
+  Sim.Engine.run_until engine 20.;
+  Alcotest.(check int) "stopped" frozen (Workload.Blaster.sent blaster)
+
+let test_blaster_overdrive_is_clipped () =
+  let engine = Sim.Engine.create () in
+  let network = Workload.Network.single_bottleneck ~engine ~weights:(fun _ -> 1.) 1 in
+  let blaster = Workload.Blaster.attach ~network ~flow:1 ~rate:800. () in
+  Sim.Engine.run_until engine 20.;
+  (* 800 offered on a 500 link: survival ~ 5/8. *)
+  Alcotest.(check bool) "clipped to capacity" true
+    (Float.abs (Workload.Blaster.survival blaster -. 0.625) < 0.05);
+  Alcotest.check_raises "bad rate" (Invalid_argument "Blaster.attach: rate must be positive")
+    (fun () -> ignore (Workload.Blaster.attach ~network ~flow:1 ~rate:0. ()))
+
+(* ------------------------------------------------------------------ *)
+(* Scenario files *)
+
+let demo_scenario =
+  {|
+# demo
+topology chain cores=3 bandwidth=4000000 delay=0.01 queue=40
+scheme corelite
+seed 5
+duration 60
+
+flow 1 weight 1 from 1 to 3
+flow 2 weight 2 from 1 to 3 floor 10
+
+start 1 at 0
+start 2 at 5
+stop 1 at 50
+|}
+
+let test_scenario_parse_ok () =
+  match Workload.Scenario_file.parse demo_scenario with
+  | Error message -> Alcotest.fail message
+  | Ok s ->
+    Alcotest.(check int) "cores" 3 s.Workload.Scenario_file.cores;
+    check_float "duration" 60. s.Workload.Scenario_file.duration;
+    Alcotest.(check int) "seed" 5 s.Workload.Scenario_file.seed;
+    Alcotest.(check int) "two flows" 2 (List.length s.Workload.Scenario_file.flows);
+    Alcotest.(check int) "three events" 3 (List.length s.Workload.Scenario_file.schedule);
+    check_float "floor" 10. (List.assoc 2 s.Workload.Scenario_file.floors);
+    Alcotest.(check string) "scheme" "corelite"
+      (Workload.Runner.scheme_name s.Workload.Scenario_file.scheme)
+
+let test_scenario_runs () =
+  match Workload.Scenario_file.parse demo_scenario with
+  | Error message -> Alcotest.fail message
+  | Ok s ->
+    let result = Workload.Scenario_file.run s in
+    (* Flow 1 stopped at 50; flow 2 alive. *)
+    check_float "flow 1 stopped" 0.
+      (Workload.Runner.mean_rate result ~flow:1 ~from:55. ~until:60.);
+    Alcotest.(check bool) "flow 2 running" true
+      (Workload.Runner.mean_rate result ~flow:2 ~from:55. ~until:60. > 0.)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let expect_parse_error fragment text =
+  match Workload.Scenario_file.parse text with
+  | Ok _ -> Alcotest.fail ("parsed but expected error mentioning " ^ fragment)
+  | Error message ->
+    if not (contains ~needle:fragment message) then
+      Alcotest.fail (Printf.sprintf "error %S does not mention %S" message fragment)
+
+let test_scenario_parse_errors () =
+  expect_parse_error "missing 'topology'" "duration 10
+flow 1 weight 1 from 1 to 2
+start 1 at 0";
+  expect_parse_error "unknown directive"
+    "topology chain cores=2
+frobnicate
+duration 1
+flow 1 weight 1 from 1 to 2
+start 1 at 0";
+  expect_parse_error "duplicate flow"
+    "topology chain cores=2
+duration 1
+flow 1 weight 1 from 1 to 2
+flow 1 weight 2 from 1 to 2
+start 1 at 0";
+  expect_parse_error "outside"
+    "topology chain cores=2
+duration 1
+flow 1 weight 1 from 1 to 5
+start 1 at 0";
+  expect_parse_error "undefined flow"
+    "topology chain cores=2
+duration 1
+flow 1 weight 1 from 1 to 2
+start 9 at 0";
+  expect_parse_error "missing 'duration'"
+    "topology chain cores=2
+flow 1 weight 1 from 1 to 2
+start 1 at 0";
+  expect_parse_error "no start"
+    "topology chain cores=2
+duration 1
+flow 1 weight 1 from 1 to 2";
+  expect_parse_error "unknown scheme"
+    "topology chain cores=2
+scheme bogus
+duration 1
+flow 1 weight 1 from 1 to 2
+start 1 at 0";
+  expect_parse_error "expected a number"
+    "topology chain cores=2
+duration abc
+flow 1 weight 1 from 1 to 2
+start 1 at 0"
+
+let scenario_gen =
+  QCheck.Gen.(
+    let* cores = 2 -- 5 in
+    let* n_flows = 1 -- 6 in
+    let* flows =
+      List.init n_flows (fun i -> i + 1)
+      |> List.map (fun id ->
+             let* weight = 1 -- 4 in
+             let* entry = 1 -- cores in
+             let* exit = entry -- cores in
+             let* floor = 0 -- 30 in
+             return (id, float_of_int weight, entry, exit, float_of_int floor))
+      |> flatten_l
+    in
+    let* duration = 10 -- 300 in
+    let* seed = 0 -- 1000 in
+    return (cores, flows, float_of_int duration, seed))
+
+let prop_scenario_roundtrip =
+  QCheck.Test.make ~name:"scenario file round-trips through to_string/parse" ~count:100
+    (QCheck.make scenario_gen)
+    (fun (cores, flows, duration, seed) ->
+      let t =
+        {
+          Workload.Scenario_file.scheme = Workload.Runner.Corelite Corelite.Params.default;
+          cores;
+          bandwidth = 4e6;
+          delay = 0.04;
+          queue_capacity = 40;
+          flows = List.map (fun (id, w, en, ex, _) -> (id, w, en, ex)) flows;
+          floors = List.filter_map (fun (id, _, _, _, f) -> if f > 0. then Some (id, f) else None) flows;
+          schedule =
+            List.map (fun (id, _, _, _, _) -> (1., Workload.Runner.Start id)) flows;
+          duration;
+          seed;
+        }
+      in
+      match Workload.Scenario_file.parse (Workload.Scenario_file.to_string t) with
+      | Error message -> QCheck.Test.fail_report message
+      | Ok parsed ->
+        parsed.Workload.Scenario_file.cores = t.Workload.Scenario_file.cores
+        && parsed.Workload.Scenario_file.flows = t.Workload.Scenario_file.flows
+        && List.sort compare parsed.Workload.Scenario_file.floors
+           = List.sort compare t.Workload.Scenario_file.floors
+        && parsed.Workload.Scenario_file.schedule = t.Workload.Scenario_file.schedule
+        && parsed.Workload.Scenario_file.duration = t.Workload.Scenario_file.duration
+        && parsed.Workload.Scenario_file.seed = t.Workload.Scenario_file.seed)
+
+(* ------------------------------------------------------------------ *)
+(* Replication *)
+
+let test_replicate_summary_stats () =
+  let stats = Workload.Replication.replicate ~seeds:[ 1; 2; 3; 4 ] float_of_int in
+  check_float "mean" 2.5 stats.Workload.Replication.mean;
+  check_float "min" 1. stats.Workload.Replication.min;
+  check_float "max" 4. stats.Workload.Replication.max;
+  Alcotest.(check int) "runs" 4 stats.Workload.Replication.runs;
+  Alcotest.(check bool) "stddev > 0" true (stats.Workload.Replication.stddev > 1.);
+  Alcotest.check_raises "no seeds" (Invalid_argument "Replication.replicate: no seeds")
+    (fun () -> ignore (Workload.Replication.replicate ~seeds:[] float_of_int))
+
+let test_replicate_single_run () =
+  let stats = Workload.Replication.replicate ~seeds:[ 9 ] (fun _ -> 7.5) in
+  check_float "mean is the value" 7.5 stats.Workload.Replication.mean;
+  check_float "no spread" 0. stats.Workload.Replication.stddev
+
+let test_replicate_figure_stable () =
+  (* A short fig5 cut: the jain spread across seeds must be small. *)
+  let spec = Workload.Figures.fig5 () in
+  let spec = { spec with Workload.Figures.duration = 40. } in
+  let spec =
+    {
+      spec with
+      Workload.Figures.phases =
+        [
+          {
+            Workload.Figures.label = "tail";
+            from_t = 30.;
+            until_t = 40.;
+            active = ids 10;
+          };
+        ];
+    }
+  in
+  let stats = Workload.Replication.replicate_figure ~seeds:[ 1; 2; 3 ] spec in
+  Alcotest.(check int) "three runs" 3 stats.Workload.Replication.jain.Workload.Replication.runs;
+  Alcotest.(check bool) "jain high across seeds" true
+    (stats.Workload.Replication.jain.Workload.Replication.min > 0.95);
+  Alcotest.(check bool) "jain spread small" true
+    (stats.Workload.Replication.jain.Workload.Replication.stddev < 0.02)
+
+(* ------------------------------------------------------------------ *)
+(* Csv *)
+
+let test_csv_roundtrip_shape () =
+  let result = small_run ~duration:5. () in
+  let dir = Filename.temp_file "corelite" "" in
+  Sys.remove dir;
+  Workload.Csv.write_result ~dir ~prefix:"smoke" result;
+  let path = Filename.concat dir "smoke_rates.csv" in
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  Alcotest.(check int) "header + 5 samples" 6 (List.length lines);
+  Alcotest.(check string) "header" "time,flow1,flow2,flow3" (List.hd lines);
+  List.iter
+    (fun f -> Sys.remove (Filename.concat dir ("smoke_" ^ f ^ ".csv")))
+    [ "rates"; "goodput"; "cumulative" ];
+  Sys.rmdir dir
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "topology1 structure" `Quick test_topology1_structure;
+          Alcotest.test_case "topology1 rtts" `Quick test_topology1_rtts;
+          Alcotest.test_case "weights applied" `Quick test_topology1_weights_applied;
+          Alcotest.test_case "flow subset" `Quick test_topology1_subset;
+          Alcotest.test_case "expected rates phases" `Quick test_expected_rates_phases;
+          Alcotest.test_case "single bottleneck" `Quick test_single_bottleneck_structure;
+          Alcotest.test_case "link capacities" `Quick test_link_capacities;
+          Alcotest.test_case "random network structure" `Quick
+            test_random_network_structure;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "sampling grid" `Quick test_runner_sampling_grid;
+          Alcotest.test_case "cumulative monotone" `Quick test_runner_cumulative_monotone;
+          Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_runner_seed_changes_run;
+          Alcotest.test_case "stop action" `Quick test_runner_stop_action;
+          Alcotest.test_case "unknown flow nan" `Quick test_runner_mean_rate_unknown_flow;
+          Alcotest.test_case "scheme names" `Quick test_scheme_names;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "all present" `Quick test_figures_all_present;
+          Alcotest.test_case "schemes" `Quick test_figures_schemes;
+          Alcotest.test_case "schedules within duration" `Quick
+            test_figures_schedules_within_duration;
+          Alcotest.test_case "weights match paper" `Quick test_figures_weights_match_paper;
+          Alcotest.test_case "fig9 churn schedule" `Quick test_fig9_schedule_churn;
+          Alcotest.test_case "summarize pipeline" `Slow test_summarize_short_run;
+        ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "run point" `Slow test_sweep_point_runs;
+          Alcotest.test_case "latency override" `Slow test_sweep_latency_override;
+        ] );
+      ( "blaster",
+        [
+          Alcotest.test_case "paces and counts" `Quick test_blaster_paces_and_counts;
+          Alcotest.test_case "overdrive clipped" `Quick test_blaster_overdrive_is_clipped;
+        ] );
+      ( "scenario_file",
+        [
+          Alcotest.test_case "parse ok" `Quick test_scenario_parse_ok;
+          Alcotest.test_case "runs" `Quick test_scenario_runs;
+          Alcotest.test_case "parse errors" `Quick test_scenario_parse_errors;
+          QCheck_alcotest.to_alcotest prop_scenario_roundtrip;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "summary stats" `Quick test_replicate_summary_stats;
+          Alcotest.test_case "single run" `Quick test_replicate_single_run;
+          Alcotest.test_case "figure stable" `Slow test_replicate_figure_stable;
+        ] );
+      ("csv", [ Alcotest.test_case "roundtrip shape" `Quick test_csv_roundtrip_shape ]);
+    ]
