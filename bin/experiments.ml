@@ -70,8 +70,7 @@ let queue_dynamics () =
           (Sim.Timeseries.window_mean queue ~from:20. ~until:80.)
       in
       Printf.printf
-        "%-8s: mean queue %.1f pkts  peak %d/40  utilization %.1f%%
-"
+        "%-8s: mean queue %.1f pkts  peak %d/40  utilization %.1f%%\n"
         (Workload.Runner.scheme_name spec.Workload.Figures.scheme)
         mean_queue (Net.Probe.peak_queue probe)
         (100. *. Net.Probe.mean_utilization probe);

@@ -18,7 +18,7 @@ let occupancy t = t.filled
 
 let select t ~fn =
   if fn < 0. then invalid_arg "Cache_selector.select: negative budget";
-  if t.filled = 0 || fn = 0. then []
+  if t.filled = 0 || Sim.Floats.is_zero fn then []
   else begin
     let whole = int_of_float fn in
     let frac = fn -. float_of_int whole in

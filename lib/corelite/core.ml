@@ -19,6 +19,7 @@ type t = {
   mutable feedback_sent : int;
   mutable congested_epochs : int;
   mutable markers_seen : int;
+  check : bool;
 }
 
 let link t = t.link
@@ -43,6 +44,18 @@ let on_marker t marker =
   | Cache cache -> Cache_selector.observe cache marker
   | Stateless sel ->
     let copies = Stateless_selector.observe sel marker in
+    if t.check then
+      (* Per-marker feedback budget: at most ceil(pw) copies, whether
+         they come from this marker's own draw or the swap deficit. *)
+      Sim.Invariant.requiref
+        ~what:(fun () ->
+          Printf.sprintf
+            "Core %s: stateless selector returned %d copies for one marker \
+             (pw=%.3f allows at most %d)"
+            t.link.Net.Link.name copies
+            (Stateless_selector.pw sel)
+            (int_of_float (Stateless_selector.pw sel) + 1))
+        (copies >= 0 && copies <= int_of_float (Stateless_selector.pw sel) + 1);
     for _ = 1 to copies do
       emit t marker
     done
@@ -53,6 +66,14 @@ let on_epoch t engine () =
   Sim.Stats.Time_weighted.reset t.qlen ~now;
   let mu = Net.Link.capacity_pps t.link *. t.params.Params.core_epoch in
   let fn = Congestion.budget t.estimator ~mu ~qavg ~qthresh:t.params.Params.qthresh in
+  if t.check then begin
+    Sim.Invariant.require
+      ~what:("Core " ^ t.link.Net.Link.name ^ ": negative average queue length")
+      (qavg >= 0.);
+    Sim.Invariant.require
+      ~what:("Core " ^ t.link.Net.Link.name ^ ": negative feedback budget Fn")
+      (fn >= 0.)
+  end;
   t.last_qavg <- qavg;
   t.last_fn <- fn;
   if fn > 0. then begin
@@ -63,10 +84,27 @@ let on_epoch t engine () =
   end;
   match t.selector with
   | Cache cache ->
-    if fn > 0. then List.iter (emit t) (Cache_selector.select cache ~fn)
+    if fn > 0. then begin
+      let selected = Cache_selector.select cache ~fn in
+      if t.check then
+        (* Epoch feedback budget: the cache returns at most ceil(Fn)
+           markers for the epoch. *)
+        Sim.Invariant.requiref
+          ~what:(fun () ->
+            Printf.sprintf
+              "Core %s: cache selector returned %d markers for budget Fn=%.3f \
+               (at most %d allowed)"
+              t.link.Net.Link.name (List.length selected) fn
+              (int_of_float fn + 1))
+          (List.length selected <= int_of_float fn + 1);
+      List.iter (emit t) selected
+    end
   | Stateless sel -> Stateless_selector.on_epoch sel ~fn
 
-let attach ~params ~rng ~send_feedback link =
+let attach ?check_invariants ~params ~rng ~send_feedback link =
+  let check =
+    match check_invariants with Some b -> b | None -> Sim.Invariant.default ()
+  in
   if link.Net.Link.hooks <> None then
     invalid_arg ("Core.attach: link " ^ link.Net.Link.name ^ " already has hooks");
   let engine = link.Net.Link.engine in
@@ -98,6 +136,7 @@ let attach ~params ~rng ~send_feedback link =
       feedback_sent = 0;
       congested_epochs = 0;
       markers_seen = 0;
+      check;
     }
   in
   t.timer <-

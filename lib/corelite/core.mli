@@ -12,12 +12,18 @@
 type t
 
 val attach :
+  ?check_invariants:bool ->
   params:Params.t ->
   rng:Sim.Rng.t ->
   send_feedback:(Net.Packet.marker -> unit) ->
   Net.Link.t ->
   t
 (** Installs hooks on the link and starts the congestion-epoch timer.
+    [check_invariants] (default {!Sim.Invariant.default}) audits the
+    feedback budgets — per epoch the cache selector may return at most
+    [ceil Fn] markers, per marker the stateless selector at most
+    [ceil pw] copies — and non-negativity of [qavg] and [Fn], raising
+    {!Sim.Invariant.Violation} on the first breach.
     @raise Invalid_argument if the link already has hooks. *)
 
 val link : t -> Net.Link.t

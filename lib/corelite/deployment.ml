@@ -86,6 +86,8 @@ let agents t =
 
 let cores t = t.cores
 
+let topology t = t.topology
+
 let start_flow t id = Edge.start (agent t id)
 
 let stop_flow t id = Edge.stop (agent t id)

@@ -43,6 +43,9 @@ val agents : t -> (int * Edge.t) list
 
 val cores : t -> Core.t list
 
+(** The topology the deployment was wired over. *)
+val topology : t -> Net.Topology.t
+
 val start_flow : t -> int -> unit
 
 val stop_flow : t -> int -> unit

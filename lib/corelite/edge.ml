@@ -26,6 +26,8 @@ let source t = match t.source with Some s -> s | None -> assert false
 
 let flow t = t.flow
 
+let params t = t.params
+
 let rate t = Net.Source.rate (source t)
 
 let running t = Net.Source.running (source t)

@@ -35,6 +35,9 @@ val create :
 
 val flow : t -> Net.Flow.t
 
+(** The scheme parameters this agent was built with. *)
+val params : t -> Params.t
+
 (** Install the flow's route and start shaping at the initial rate with
     fresh adaptation state. Restarting after [stop] begins a new flow
     lifetime (slow-start again). *)

@@ -59,4 +59,4 @@ let on_epoch t ~fn =
   (* [pw] may exceed 1 (multiple feedback copies per marker); the cap
      bounds over-actuation of the delayed control loop and keeps a
      mis-estimated [wav] from triggering a feedback storm. *)
-  t.pw <- (if fn = 0. || wav <= 0. then 0. else Float.min t.pw_cap (fn /. wav))
+  t.pw <- (if Sim.Floats.is_zero fn || wav <= 0. then 0. else Float.min t.pw_cap (fn /. wav))

@@ -11,7 +11,7 @@ let jain_index ~rates ~weights =
       sum := !sum +. z;
       sum_sq := !sum_sq +. (z *. z)
     done;
-    if !sum_sq = 0. then 1.
+    if Sim.Floats.is_zero !sum_sq then 1.
     else !sum *. !sum /. (float_of_int n *. !sum_sq)
   end
 
@@ -21,7 +21,7 @@ let mean_relative_error ~measured ~expected =
     invalid_arg "Metrics.mean_relative_error: length mismatch";
   let sum = ref 0. and count = ref 0 in
   for i = 0 to n - 1 do
-    if expected.(i) <> 0. then begin
+    if not (Sim.Floats.is_zero expected.(i)) then begin
       sum := !sum +. (Float.abs (measured.(i) -. expected.(i)) /. Float.abs expected.(i));
       incr count
     end

@@ -24,11 +24,16 @@ type t = {
   mutable departures : int;
   mutable drops : int;
   mutable bytes_sent : int;
+  check : bool;
 }
 
-let create ~engine ~id ~name ~src ~dst ~bandwidth ~delay ~qdisc =
+let create ?check_invariants ~engine ~id ~name ~src ~dst ~bandwidth ~delay ~qdisc () =
   if bandwidth <= 0. then invalid_arg "Link.create: bandwidth must be positive";
   if delay < 0. then invalid_arg "Link.create: negative delay";
+  let check =
+    match check_invariants with Some b -> b | None -> Sim.Invariant.default ()
+  in
+  let qdisc = if check then Qdisc.with_invariants qdisc else qdisc in
   {
     id;
     name;
@@ -46,6 +51,7 @@ let create ~engine ~id ~name ~src ~dst ~bandwidth ~delay ~qdisc =
     departures = 0;
     drops = 0;
     bytes_sent = 0;
+    check;
   }
 
 let capacity_pps t = t.bandwidth /. float_of_int (8 * Packet.default_size)
@@ -61,6 +67,19 @@ let drop t reason pkt =
   t.drops <- t.drops + 1;
   match t.on_drop with Some f -> f reason pkt | None -> ()
 
+(* Packet conservation: every arrival is accounted for exactly once —
+   transmitted, dropped, still queued, or on the wire right now. *)
+let check_conservation t =
+  let queued = queue_length t in
+  let in_service = if t.busy then 1 else 0 in
+  Sim.Invariant.requiref
+    ~what:(fun () ->
+      Printf.sprintf
+        "Link %s: packet conservation broken (%d arrived <> %d departed + %d \
+         dropped + %d queued + %d in service)"
+        t.name t.arrivals t.departures t.drops queued in_service)
+    (t.arrivals = t.departures + t.drops + queued + in_service)
+
 let rec start_transmission t =
   match t.qdisc.Qdisc.dequeue () with
   | None -> t.busy <- false
@@ -73,18 +92,20 @@ let rec start_transmission t =
       t.bytes_sent <- t.bytes_sent + pkt.Packet.size;
       let arrive () = t.deliver pkt in
       ignore (Sim.Engine.schedule t.engine ~delay:t.delay arrive);
-      start_transmission t
+      start_transmission t;
+      if t.check then check_conservation t
     in
     ignore (Sim.Engine.schedule t.engine ~delay:tx_time on_tx_done)
 
 let send t pkt =
   t.arrivals <- t.arrivals + 1;
-  let verdict = match t.hooks with Some h -> h.on_arrival pkt | None -> Pass in
-  match verdict with
-  | Drop -> drop t Filtered pkt
-  | Pass -> (
-    match t.qdisc.Qdisc.enqueue pkt with
-    | Qdisc.Dropped -> drop t Queue_full pkt
-    | Qdisc.Enqueued ->
-      notify_queue_change t;
-      if not t.busy then start_transmission t)
+  (match t.hooks with Some h -> h.on_arrival pkt | None -> Pass)
+  |> (function
+       | Drop -> drop t Filtered pkt
+       | Pass -> (
+         match t.qdisc.Qdisc.enqueue pkt with
+         | Qdisc.Dropped -> drop t Queue_full pkt
+         | Qdisc.Enqueued ->
+           notify_queue_change t;
+           if not t.busy then start_transmission t));
+  if t.check then check_conservation t

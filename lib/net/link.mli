@@ -42,9 +42,16 @@ type t = {
   mutable departures : int;
   mutable drops : int;
   mutable bytes_sent : int;
+  check : bool;  (** audit packet conservation on every send/tx-done *)
 }
 
+(** [check_invariants] (default {!Sim.Invariant.default}) wraps the
+    queue discipline with {!Qdisc.with_invariants} and audits per-link
+    packet conservation — arrivals = departures + drops + queued +
+    in-service — at every stable point, raising
+    {!Sim.Invariant.Violation} on the first broken account. *)
 val create :
+  ?check_invariants:bool ->
   engine:Sim.Engine.t ->
   id:int ->
   name:string ->
@@ -53,6 +60,7 @@ val create :
   bandwidth:float ->
   delay:float ->
   qdisc:Qdisc.t ->
+  unit ->
   t
 
 (** Submit a packet for transmission. Runs hooks, enqueues (or drops),

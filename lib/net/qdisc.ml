@@ -362,3 +362,48 @@ let drr ~weight ?(quantum_unit = Packet.default_size) ~capacity () =
     bytes = (fun () -> !total_bytes);
     kind = "drr";
   }
+
+(* ------------------------------------------------------------------ *)
+(* Invariant auditing *)
+
+let with_invariants t =
+  let nonneg after =
+    Sim.Invariant.requiref
+      ~what:(fun () ->
+        Printf.sprintf "Qdisc(%s): negative occupancy (%d packets, %d bytes)"
+          t.kind after (t.bytes ()))
+      (after >= 0 && t.bytes () >= 0)
+  in
+  let enqueue pkt =
+    let before = t.length () in
+    let action = t.enqueue pkt in
+    let after = t.length () in
+    (match action with
+    | Enqueued ->
+      Sim.Invariant.require
+        ~what:("Qdisc(" ^ t.kind ^ "): Enqueued must grow the queue by exactly one")
+        (after = before + 1)
+    | Dropped ->
+      Sim.Invariant.require
+        ~what:("Qdisc(" ^ t.kind ^ "): Dropped must leave the queue unchanged")
+        (after = before));
+    nonneg after;
+    action
+  in
+  let dequeue () =
+    let before = t.length () in
+    let pkt = t.dequeue () in
+    let after = t.length () in
+    (match pkt with
+    | Some _ ->
+      Sim.Invariant.require
+        ~what:("Qdisc(" ^ t.kind ^ "): dequeue must shrink the queue by exactly one")
+        (after = before - 1)
+    | None ->
+      Sim.Invariant.require
+        ~what:("Qdisc(" ^ t.kind ^ "): empty dequeue must leave the queue unchanged")
+        (after = before));
+    nonneg after;
+    pkt
+  in
+  { t with enqueue; dequeue }

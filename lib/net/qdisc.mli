@@ -79,3 +79,11 @@ val classful :
   capacity:int ->
   unit ->
   t
+
+(** [with_invariants t] wraps [t] so every enqueue/dequeue audits the
+    occupancy accounting (non-negative length and bytes; [Enqueued]
+    grows the queue by exactly one, a successful dequeue shrinks it by
+    exactly one) and raises {!Sim.Invariant.Violation} on the first
+    inconsistency. {!Link.create} applies this automatically when its
+    [check_invariants] flag is on. *)
+val with_invariants : t -> t

@@ -107,6 +107,7 @@ module Sender = struct
   let update_rtt t ~now =
     if t.sample_seq > 0 && t.acked >= t.sample_seq then begin
       let sample = now -. t.sample_time in
+      (* lint: float-eq-ok — 0. is the exact "no RTT sample yet" sentinel *)
       if t.srtt = 0. then begin
         t.srtt <- sample;
         t.rttvar <- sample /. 2.

@@ -39,7 +39,7 @@ let add_link t ~src ~dst ~bandwidth ~delay ~qdisc =
   let name = src.Node.name ^ "->" ^ dst.Node.name in
   let link =
     Link.create ~engine:t.engine ~id:t.next_link_id ~name ~src:src.Node.id
-      ~dst:dst.Node.id ~bandwidth ~delay ~qdisc
+      ~dst:dst.Node.id ~bandwidth ~delay ~qdisc ()
   in
   t.next_link_id <- t.next_link_id + 1;
   link.Link.deliver <- (fun pkt -> Node.receive dst pkt);

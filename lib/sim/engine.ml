@@ -6,9 +6,14 @@ type t = {
   mutable clock : float;
   mutable seq : int;
   queue : event Event_queue.t;
+  check : bool;
 }
 
-let create () = { clock = 0.; seq = 0; queue = Event_queue.create () }
+let create ?check_invariants () =
+  let check =
+    match check_invariants with Some b -> b | None -> Invariant.default ()
+  in
+  { clock = 0.; seq = 0; queue = Event_queue.create (); check }
 
 let now t = t.clock
 
@@ -52,6 +57,9 @@ let step t =
   match Event_queue.pop t.queue with
   | None -> false
   | Some (time, _, event) ->
+    if t.check then
+      Invariant.require ~what:"Engine: event time behind the clock (time must be monotone)"
+        (time >= t.clock);
     t.clock <- time;
     if not event.handle.cancelled then event.action ();
     true

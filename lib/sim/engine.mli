@@ -10,7 +10,11 @@ type t
 (** Cancellation token for a scheduled (possibly recurring) event. *)
 type handle
 
-val create : unit -> t
+(** [create ()] builds an engine with its clock at [0.].
+    [check_invariants] (default {!Invariant.default}) audits clock
+    monotonicity on every step and raises {!Invariant.Violation} when
+    it breaks. *)
+val create : ?check_invariants:bool -> unit -> t
 
 (** Current virtual time in seconds. *)
 val now : t -> float

@@ -1,0 +1,5 @@
+let default_tolerance = 1e-9
+
+let near ?(tolerance = default_tolerance) a b = Float.abs (a -. b) <= tolerance
+
+let is_zero ?tolerance x = near ?tolerance x 0.

@@ -1,0 +1,19 @@
+exception Violation of string
+
+let enabled_by_default = ref false
+
+let set_default b = enabled_by_default := b
+
+let default () = !enabled_by_default
+
+let checks = ref 0
+
+let checks_run () = !checks
+
+let require ~what cond =
+  incr checks;
+  if not cond then raise (Violation what)
+
+let requiref ~what cond =
+  incr checks;
+  if not cond then raise (Violation (what ()))

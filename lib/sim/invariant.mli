@@ -1,0 +1,33 @@
+(** Runtime invariant auditing — the dynamic complement of the static
+    lint pass ([tools/lint]).
+
+    Components that maintain accounting the paper's results depend on
+    (the engine's clock, link packet conservation, core feedback
+    budgets) take a [?check_invariants] flag. When it is on they call
+    {!require} at their stable points; a failed check raises
+    {!Violation} immediately, naming the broken property, instead of
+    silently corrupting a figure.
+
+    The flag everywhere defaults to {!default}, so a test suite turns
+    every check on globally with [Sim.Invariant.set_default true] and
+    production runs pay nothing. *)
+
+exception Violation of string
+
+(** Default value of every [?check_invariants] flag. Starts [false]. *)
+val default : unit -> bool
+
+val set_default : bool -> unit
+
+(** [require ~what cond] raises [Violation what] when [cond] is false.
+    Callers guard the call (and any expensive condition) behind their
+    [check_invariants] flag. *)
+val require : what:string -> bool -> unit
+
+(** Like {!require} with a lazily built message, for conditions cheap
+    to test but expensive to describe. *)
+val requiref : what:(unit -> string) -> bool -> unit
+
+(** Number of invariant checks executed so far in this process — lets
+    tests assert that auditing actually ran. *)
+val checks_run : unit -> int

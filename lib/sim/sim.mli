@@ -7,16 +7,11 @@
     Determinism is a design contract, not an accident: simultaneous
     events fire in FIFO order, every random draw descends from the
     run's root seed via {!Rng.split}, and wall-clock time never enters
-    the simulation. Re-running any experiment with the same seed
-    reproduces it bit for bit.
-
-    {1 Typical use}
-
-    {[
-      let engine = Sim.Engine.create () in
-      ignore (Sim.Engine.every engine ~period:0.1 (fun () -> sample ()));
-      Sim.Engine.run_until engine 100.
-    ]} *)
+    the simulation. The contract is enforced mechanically — the static
+    lint pass ([tools/lint], [dune build @lint]) bans raw randomness
+    and wall-clock reads outside {!Rng}, and {!Invariant} audits the
+    runtime side when [?check_invariants] flags are on. Re-running any
+    experiment with the same seed reproduces it bit for bit. *)
 
 (** Binary min-heap of timestamped entries (also usable as a plain
     priority queue, e.g. inside Dijkstra). *)

@@ -107,6 +107,10 @@ let build ?(params = Corelite.Params.default) ?(seed = 42) ?(handoff_capacity = 
   in
   { chains; locals; deployment_a; deployment_b }
 
+let deployment_a t = t.deployment_a
+
+let deployment_b t = t.deployment_b
+
 let chain t flow =
   match Hashtbl.find_opt t.chains flow with
   | Some c -> c

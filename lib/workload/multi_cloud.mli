@@ -38,6 +38,12 @@ val build :
 (** Start every flow in both clouds. *)
 val start : t -> unit
 
+(** The per-cloud Corelite deployments (A holds chain heads and A-local
+    flows, B the chained aggregates and B-local flows). *)
+val deployment_a : t -> Corelite.Deployment.t
+
+val deployment_b : t -> Corelite.Deployment.t
+
 val stop : t -> unit
 
 (** Packets delivered end-to-end (out of cloud B) per flow. *)

@@ -66,6 +66,8 @@ let build ?(params = Corelite.Params.default) ?(tcp_params = Net.Tcp.default_par
   in
   { network; aggregates; connections; deployment }
 
+let deployment t = t.deployment
+
 let aggregate t flow_id =
   match Hashtbl.find_opt t.aggregates flow_id with
   | Some a -> a

@@ -30,6 +30,9 @@ val start : t -> unit
 val stop : t -> unit
 
 val aggregate : t -> int -> Corelite.Aggregate.t
+
+(** The underlying Corelite deployment carrying the aggregates. *)
+val deployment : t -> Corelite.Deployment.t
 (** @raise Not_found for an unknown flow id. *)
 
 (** In-order segments delivered to a micro-flow's receiver. *)

@@ -551,6 +551,28 @@ let test_min_rate_contract_honored () =
   Alcotest.(check bool) "contract met" true (m 1 >= 195.);
   Alcotest.(check bool) "others squeezed but alive" true (m 2 > 50. && m 2 < 130.)
 
+(* ------------------------------------------------------------------ *)
+(* Invariant auditing *)
+
+let test_invariants_hold_under_congestion () =
+  (* Run a congested scenario for both selectors with every runtime
+     check on: engine monotonicity, link conservation and the core
+     feedback budgets must all hold (a Violation would fail the test),
+     and the audit must actually have run. *)
+  List.iter
+    (fun selector ->
+      let before = Sim.Invariant.checks_run () in
+      let result =
+        converge_fixture ~selector ~weights:(fun _ -> 1.) 4 ~duration:60.
+      in
+      Alcotest.(check bool) "scenario congested" true
+        (result.Workload.Runner.feedback_markers > 0);
+      Alcotest.(check bool) "audit ran" true (Sim.Invariant.checks_run () > before))
+    [ Corelite.Params.Stateless; Corelite.Params.Cache ]
+
+(* Audit every runtime invariant (Sim.Invariant) in all suites. *)
+let () = Sim.Invariant.set_default true
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "corelite"
@@ -623,5 +645,10 @@ let () =
           Alcotest.test_case "full utilization" `Slow test_full_utilization;
           Alcotest.test_case "multihop maxmin" `Slow test_multihop_maxmin;
           Alcotest.test_case "min-rate contract" `Slow test_min_rate_contract_honored;
+        ] );
+      ( "invariant",
+        [
+          Alcotest.test_case "holds under congestion" `Slow
+            test_invariants_hold_under_congestion;
         ] );
     ]

@@ -331,6 +331,9 @@ let test_floor_respected_goodput () =
   let m = Workload.Runner.mean_rate result ~flow:1 ~from:90. ~until:120. in
   Alcotest.(check bool) "contracted flow keeps its floor" true (m >= 195.)
 
+(* Audit every runtime invariant (Sim.Invariant) in all suites. *)
+let () = Sim.Invariant.set_default true
+
 let () =
   Alcotest.run "csfq"
     [

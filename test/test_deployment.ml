@@ -17,7 +17,7 @@ let single_bottleneck ?(n = 2) ?(weights = fun _ -> 1.) () =
 let corelite_deployment network =
   Corelite.Deployment.build ~params:Corelite.Params.default ~rng:(Sim.Rng.create 3)
     ~topology:network.Workload.Network.topology
-    ~flows:(List.map Corelite.Deployment.spec network.Workload.Network.flows)
+    ~flows:(List.map (fun f -> Corelite.Deployment.spec f) network.Workload.Network.flows)
     ~core_links:network.Workload.Network.core_links
 
 let test_deployment_rejects_duplicate_flows () =
@@ -78,7 +78,7 @@ let test_csfq_deployment_no_cores_mode () =
   let d =
     Csfq.Deployment.build ~attach_cores:false ~params:Csfq.Params.default
       ~rng:(Sim.Rng.create 5) ~topology:network.Workload.Network.topology
-      ~flows:(List.map Csfq.Deployment.spec network.Workload.Network.flows)
+      ~flows:(List.map (fun f -> Csfq.Deployment.spec f) network.Workload.Network.flows)
       ~core_links:network.Workload.Network.core_links ()
   in
   Alcotest.(check int) "no core logic" 0 (List.length (Csfq.Deployment.cores d));
@@ -251,6 +251,9 @@ let test_csv_empty_series () =
   Sys.remove path;
   Alcotest.(check string) "header only" "time,flow1" header;
   Alcotest.(check bool) "no rows" true (rest = None)
+
+(* Audit every runtime invariant (Sim.Invariant) in all suites. *)
+let () = Sim.Invariant.set_default true
 
 let () =
   Alcotest.run "deployment"

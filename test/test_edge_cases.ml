@@ -264,7 +264,7 @@ let test_plain_deployment_has_no_relabelling () =
   let d =
     Csfq.Deployment.build ~attach_cores:false ~params:Csfq.Params.default
       ~rng:(Sim.Rng.create 9) ~topology:network.Workload.Network.topology
-      ~flows:(List.map Csfq.Deployment.spec network.Workload.Network.flows)
+      ~flows:(List.map (fun f -> Csfq.Deployment.spec f) network.Workload.Network.flows)
       ~core_links:[] ()
   in
   Csfq.Deployment.start_all d;
@@ -364,6 +364,9 @@ let test_runner_rejects_unknown_schedule_flow () =
            ~network
            ~schedule:[ (1., Workload.Runner.Start 9) ]
            ~duration:5. ()))
+
+(* Audit every runtime invariant (Sim.Invariant) in all suites. *)
+let () = Sim.Invariant.set_default true
 
 let () =
   Alcotest.run "edge_cases"

@@ -379,6 +379,9 @@ let test_utilization () =
   check_float "sum over capacity" 0.9
     (Fairness.Metrics.utilization ~rates:[| 200.; 250. |] ~capacity:500.)
 
+(* Audit every runtime invariant (Sim.Invariant) in all suites. *)
+let () = Sim.Invariant.set_default true
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "fairness"

@@ -302,6 +302,9 @@ let prop_random_weights_converge =
       in
       Workload.Runner.jain result ~from:350. ~until:400. > 0.98)
 
+(* Audit every runtime invariant (Sim.Invariant) in all suites. *)
+let () = Sim.Invariant.set_default true
+
 let () =
   Alcotest.run "integration"
     [

@@ -1,0 +1,282 @@
+(* Tests for the project linter (tools/lint): one accepting and one
+   rejecting fixture per rule L1-L5, waiver handling, parse errors, and
+   statistical properties of the Sim.Rng determinism substrate the
+   linter funnels all randomness through. *)
+
+module Lint = Corelite_lint.Lint
+
+(* ------------------------------------------------------------------ *)
+(* Fixture plumbing: each case materializes a tiny source tree under a
+   scratch directory so path-scoped rules (lib/ only, the rng.ml
+   allowlist) see realistic paths. *)
+
+let fixture_root =
+  Filename.concat (Filename.get_temp_dir_name ()) "corelite-lint-fixtures"
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then (
+      Array.iter (fun e -> remove_tree (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path)
+    else Sys.remove path
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then (
+    mkdir_p (Filename.dirname path);
+    Sys.mkdir path 0o755)
+
+let fixture_counter = ref 0
+
+(* [fixture files] writes [files] (relative path, content) under a
+   fresh scratch root and returns the root. *)
+let fixture files =
+  incr fixture_counter;
+  let root = Filename.concat fixture_root (string_of_int !fixture_counter) in
+  remove_tree root;
+  List.iter
+    (fun (rel, content) ->
+      let path = Filename.concat root rel in
+      mkdir_p (Filename.dirname path);
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc content))
+    files;
+  root
+
+let lint_one rel content =
+  let root = fixture [ (rel, content) ] in
+  Lint.lint_file (Filename.concat root rel)
+
+let rules vs = List.map (fun v -> v.Lint.rule) vs
+
+let check_rules what expected vs =
+  Alcotest.(check (list string))
+    what
+    (List.map Lint.rule_name expected)
+    (List.map Lint.rule_name (rules vs))
+
+(* ------------------------------------------------------------------ *)
+(* L1: determinism *)
+
+let test_l1_flags_stdlib_random () =
+  let vs = lint_one "lib/foo.ml" "let draw () = Random.int 5\n" in
+  check_rules "Random banned" [ Lint.L1_determinism ] vs;
+  match vs with
+  | [ v ] ->
+    Alcotest.(check int) "line" 1 v.Lint.line;
+    Alcotest.(check bool) "mentions Sim.Rng" true
+      (String.length v.Lint.message > 0)
+  | _ -> Alcotest.fail "expected exactly one violation"
+
+let test_l1_flags_wall_clock_and_random_hashtbl () =
+  let vs =
+    lint_one "bin/run.ml"
+      "let t () = Unix.gettimeofday ()\nlet h = Hashtbl.create ~random:true 16\n"
+  in
+  check_rules "wall clock and seeded hashtbl"
+    [ Lint.L1_determinism; Lint.L1_determinism ]
+    vs
+
+let test_l1_allows_rng_module () =
+  (* lib/sim/rng.ml is the one sanctioned owner of raw randomness. *)
+  let vs = lint_one "lib/sim/rng.ml" "let draw () = Random.int 5\n" in
+  check_rules "allowlisted" [] vs
+
+let test_l1_waiver_comment () =
+  let vs =
+    lint_one "lib/foo.ml"
+      "(* lint: determinism-ok -- startup banner only *)\nlet t () = Sys.time ()\n"
+  in
+  check_rules "waived on previous line" [] vs
+
+(* ------------------------------------------------------------------ *)
+(* L2: float equality *)
+
+let test_l2_flags_float_literal_equality () =
+  let vs = lint_one "lib/foo.ml" "let is_idle r = r = 0.\n" in
+  check_rules "float equality" [ Lint.L2_float_equality ] vs
+
+let test_l2_accepts_int_equality_and_tolerance () =
+  let vs =
+    lint_one "lib/foo.ml"
+      "let same_id a b = a = b + 0\nlet near a b = Float.abs (a -. b) <= 1e-9\n"
+  in
+  check_rules "ints and tolerated floats pass" [] vs
+
+let test_l2_waiver_comment () =
+  let vs =
+    lint_one "lib/foo.ml"
+      "let is_sentinel r = r = 0. (* lint: float-eq-ok -- exact sentinel *)\n"
+  in
+  check_rules "same-line waiver" [] vs
+
+(* ------------------------------------------------------------------ *)
+(* L3: logging hygiene *)
+
+let test_l3_flags_printing_in_lib () =
+  let vs = lint_one "lib/foo.ml" "let hello () = print_endline \"hi\"\n" in
+  check_rules "printing in a library" [ Lint.L3_logging ] vs
+
+let test_l3_allows_printing_in_bin () =
+  let vs = lint_one "bin/main.ml" "let hello () = print_endline \"hi\"\n" in
+  check_rules "executables may print" [] vs
+
+(* ------------------------------------------------------------------ *)
+(* L4: interface coverage *)
+
+let test_l4_flags_missing_mli () =
+  let root = fixture [ ("lib/foo.ml", "let x = 1\n") ] in
+  check_rules "missing mli" [ Lint.L4_mli_coverage ] (Lint.mli_coverage ~roots:[ root ])
+
+let test_l4_accepts_covered_and_waived () =
+  let root =
+    fixture
+      [
+        ("lib/foo.ml", "let x = 1\n");
+        ("lib/foo.mli", "val x : int\n");
+        ("lib/gen.ml", "(* lint: mli-ok -- generated *)\nlet y = 2\n");
+      ]
+  in
+  check_rules "covered or waived" [] (Lint.mli_coverage ~roots:[ root ])
+
+(* ------------------------------------------------------------------ *)
+(* L5: unsafe escape hatches *)
+
+let test_l5_flags_obj_magic_and_exit_call () =
+  let vs =
+    lint_one "lib/foo.ml" "let coerce x = Obj.magic x\nlet die () = exit 1\n"
+  in
+  check_rules "Obj.magic and exit call" [ Lint.L5_unsafe; Lint.L5_unsafe ] vs
+
+let test_l5_allows_exit_as_variable () =
+  (* A bare [exit] identifier is a fine name for a flow's exit core. *)
+  let vs = lint_one "lib/foo.ml" "let route entry exit = entry + exit\n" in
+  check_rules "exit as a plain variable" [] vs
+
+(* ------------------------------------------------------------------ *)
+(* Parse errors and the directory walker *)
+
+let test_parse_error_reported () =
+  let vs = lint_one "lib/broken.ml" "let let let\n" in
+  check_rules "syntax error surfaces" [ Lint.Parse_error ] vs;
+  Alcotest.(check bool) "parse errors cannot be waived" true
+    (Lint.waiver_token Lint.Parse_error = None)
+
+let test_lint_paths_walks_and_sorts () =
+  let root =
+    fixture
+      [
+        ("lib/b.ml", "let r () = Random.bool ()\n");
+        ("lib/b.mli", "val r : unit -> bool\n");
+        ("lib/a.ml", "let hello () = print_endline \"hi\"\n");
+        ("lib/a.mli", "val hello : unit -> unit\n");
+      ]
+  in
+  let vs = Lint.lint_paths [ root ] in
+  check_rules "both files, file order" [ Lint.L3_logging; Lint.L1_determinism ] vs;
+  Alcotest.(check bool) "sorted by file" true
+    (match vs with
+    | [ a; b ] ->
+      Filename.basename a.Lint.file = "a.ml" && Filename.basename b.Lint.file = "b.ml"
+    | _ -> false)
+
+let test_report_format () =
+  let vs = lint_one "lib/foo.ml" "let draw () = Random.int 5\n" in
+  let text = Format.asprintf "%a" Lint.report vs in
+  Alcotest.(check bool) "file:line:col: [RULE] message" true
+    (match vs with
+    | [ v ] ->
+      let prefix = Printf.sprintf "%s:1:" v.Lint.file in
+      String.starts_with ~prefix text
+      && (let re = "[L1/determinism]" in
+          let rec contains i =
+            i + String.length re <= String.length text
+            && (String.sub text i (String.length re) = re || contains (i + 1))
+          in
+          contains 0)
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Sim.Rng statistical properties: the linter forces all randomness
+   through Sim.Rng, so its uniformity is part of the determinism
+   story. *)
+
+let prop_rng_int_bias_free =
+  QCheck.Test.make ~name:"Rng.int is bias-free over small bounds" ~count:30
+    QCheck.(pair small_nat (int_range 2 8))
+    (fun (seed, bound) ->
+      let rng = Sim.Rng.create seed in
+      let draws = 2000 * bound in
+      let counts = Array.make bound 0 in
+      for _ = 1 to draws do
+        let v = Sim.Rng.int rng bound in
+        counts.(v) <- counts.(v) + 1
+      done;
+      let expected = float_of_int draws /. float_of_int bound in
+      Array.for_all
+        (fun c ->
+          let dev = Float.abs (float_of_int c -. expected) /. expected in
+          dev < 0.12)
+        counts)
+
+let prop_rng_split_independent =
+  QCheck.Test.make ~name:"Rng.split streams are independent" ~count:50
+    QCheck.small_nat
+    (fun seed ->
+      let parent = Sim.Rng.create seed in
+      let left = Sim.Rng.split parent in
+      let right = Sim.Rng.split parent in
+      let stream rng = List.init 64 (fun _ -> Sim.Rng.bits64 rng) in
+      let l = stream left and r = stream right and p = stream parent in
+      (* The three streams never collide element-wise, and sibling
+         streams agree on (essentially) no position. *)
+      let agreements a b =
+        List.fold_left2 (fun n x y -> if Int64.equal x y then n + 1 else n) 0 a b
+      in
+      agreements l r = 0 && agreements l p = 0 && agreements r p = 0)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "lint"
+    [
+      ( "l1_determinism",
+        [
+          Alcotest.test_case "flags Random" `Quick test_l1_flags_stdlib_random;
+          Alcotest.test_case "flags clock + random hashtbl" `Quick
+            test_l1_flags_wall_clock_and_random_hashtbl;
+          Alcotest.test_case "allows lib/sim/rng.ml" `Quick test_l1_allows_rng_module;
+          Alcotest.test_case "waiver comment" `Quick test_l1_waiver_comment;
+        ] );
+      ( "l2_float_equality",
+        [
+          Alcotest.test_case "flags float literal" `Quick
+            test_l2_flags_float_literal_equality;
+          Alcotest.test_case "accepts ints + tolerance" `Quick
+            test_l2_accepts_int_equality_and_tolerance;
+          Alcotest.test_case "waiver comment" `Quick test_l2_waiver_comment;
+        ] );
+      ( "l3_logging",
+        [
+          Alcotest.test_case "flags printing in lib" `Quick test_l3_flags_printing_in_lib;
+          Alcotest.test_case "allows printing in bin" `Quick
+            test_l3_allows_printing_in_bin;
+        ] );
+      ( "l4_mli_coverage",
+        [
+          Alcotest.test_case "flags missing mli" `Quick test_l4_flags_missing_mli;
+          Alcotest.test_case "accepts covered + waived" `Quick
+            test_l4_accepts_covered_and_waived;
+        ] );
+      ( "l5_unsafe",
+        [
+          Alcotest.test_case "flags Obj.magic + exit call" `Quick
+            test_l5_flags_obj_magic_and_exit_call;
+          Alcotest.test_case "allows exit variable" `Quick
+            test_l5_allows_exit_as_variable;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "parse error" `Quick test_parse_error_reported;
+          Alcotest.test_case "walk + sort" `Quick test_lint_paths_walks_and_sorts;
+          Alcotest.test_case "report format" `Quick test_report_format;
+        ] );
+      ( "rng", [ qt prop_rng_int_bias_free; qt prop_rng_split_independent ] );
+    ]

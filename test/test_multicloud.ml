@@ -89,6 +89,9 @@ let test_build_validation () =
     (Invalid_argument "Multi_cloud.build: clouds must share one engine") (fun () ->
       ignore (Workload.Multi_cloud.build ~cloud_a ~cloud_b ()))
 
+(* Audit every runtime invariant (Sim.Invariant) in all suites. *)
+let () = Sim.Invariant.set_default true
+
 let () =
   Alcotest.run "multi_cloud"
     [

@@ -337,7 +337,7 @@ let test_link_rejects_bad_args () =
     (fun () ->
       ignore
         (Net.Link.create ~engine ~id:0 ~name:"x" ~src:0 ~dst:1 ~bandwidth:0. ~delay:0.
-           ~qdisc:(Net.Qdisc.droptail ~capacity:1)))
+           ~qdisc:(Net.Qdisc.droptail ~capacity:1) ()))
 
 let test_node_routes_and_sinks () =
   let engine, topology, a, b, _ = simple_net () in
@@ -507,7 +507,8 @@ let test_probe_tracks_throughput_and_queue () =
   (* Samples at 2..5 s each saw one departure. *)
   Alcotest.(check bool) "served 1 pkt/s while busy" true
     (Array.for_all
-       (fun (t, v) -> if t >= 2. && t <= 5. then v = 1. else v = 0.)
+       (fun (t, v) ->
+         if t >= 2. && t <= 5. then Sim.Floats.near v 1. else Sim.Floats.is_zero v)
        throughput);
   Alcotest.(check int) "peak queue was 3 waiting" 3 (Net.Probe.peak_queue probe);
   (* 4 packets in 6 seconds over a 1 pkt/s link. *)
@@ -786,6 +787,65 @@ let test_source_epoch_offset_shifts_adaptation () =
   Sim.Engine.run_until engine 0.8;
   check_float "tick at 0.75" 41. (Net.Source.rate src)
 
+(* ------------------------------------------------------------------ *)
+(* Invariant auditing *)
+
+(* A qdisc whose bookkeeping lies: it claims [Enqueued] without growing
+   the queue and hands out packets it never stored. *)
+let lying_qdisc () =
+  {
+    Net.Qdisc.enqueue = (fun _ -> Net.Qdisc.Enqueued);
+    dequeue = (fun () -> Some (mk_packet ()));
+    length = (fun () -> 0);
+    bytes = (fun () -> 0);
+    kind = "lying";
+  }
+
+let expect_violation what f =
+  match f () with
+  | exception Sim.Invariant.Violation msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s names the broken property (%s)" what msg)
+      true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail (what ^ ": expected Sim.Invariant.Violation")
+
+let test_qdisc_invariants_catch_lies () =
+  let q = Net.Qdisc.with_invariants (lying_qdisc ()) in
+  expect_violation "phantom enqueue" (fun () -> q.Net.Qdisc.enqueue (mk_packet ()));
+  expect_violation "phantom dequeue" (fun () -> q.Net.Qdisc.dequeue ())
+
+let test_qdisc_invariants_pass_honest_queue () =
+  (* A real droptail under the auditor behaves identically. *)
+  let q = Net.Qdisc.with_invariants (Net.Qdisc.droptail ~capacity:2) in
+  Alcotest.(check bool) "enqueue ok" true
+    (q.Net.Qdisc.enqueue (mk_packet ~id:1 ()) = Net.Qdisc.Enqueued);
+  Alcotest.(check bool) "enqueue ok" true
+    (q.Net.Qdisc.enqueue (mk_packet ~id:2 ()) = Net.Qdisc.Enqueued);
+  Alcotest.(check bool) "overflow dropped" true
+    (q.Net.Qdisc.enqueue (mk_packet ~id:3 ()) = Net.Qdisc.Dropped);
+  Alcotest.(check int) "two queued" 2 (q.Net.Qdisc.length ());
+  Alcotest.(check bool) "fifo out" true
+    (match q.Net.Qdisc.dequeue () with Some p -> p.Net.Packet.id = 1 | None -> false)
+
+let test_link_conservation_audited () =
+  (* Push a checked link through service, queueing and overflow; the
+     conservation audit (arrivals = departures + drops + queued +
+     in-service) runs at every stable point and stays silent. *)
+  let before = Sim.Invariant.checks_run () in
+  let engine, _, _, b, link = simple_net ~capacity:2 () in
+  Net.Node.set_sink b ~flow:1 (fun _ -> ());
+  for i = 1 to 8 do
+    Net.Link.send link (mk_packet ~id:i ())
+  done;
+  Sim.Engine.run engine;
+  Alcotest.(check int) "accounting closes" link.Net.Link.arrivals
+    (link.Net.Link.departures + link.Net.Link.drops);
+  Alcotest.(check bool) "auditing ran" true (Sim.Invariant.checks_run () > before)
+
+(* Audit every runtime invariant (Sim.Invariant) in all suites. *)
+let () = Sim.Invariant.set_default true
+
 let () =
   Alcotest.run "net"
     [
@@ -883,5 +943,13 @@ let () =
             test_source_emitted_counts_across_restarts;
           Alcotest.test_case "bad offset" `Quick test_source_rejects_bad_offset;
           Alcotest.test_case "epoch offset" `Quick test_source_epoch_offset_shifts_adaptation;
+        ] );
+      ( "invariant",
+        [
+          Alcotest.test_case "qdisc catches lies" `Quick test_qdisc_invariants_catch_lies;
+          Alcotest.test_case "qdisc passes honest queue" `Quick
+            test_qdisc_invariants_pass_honest_queue;
+          Alcotest.test_case "link conservation audited" `Quick
+            test_link_conservation_audited;
         ] );
     ]

@@ -496,6 +496,42 @@ let prop_value_at_matches_scan =
       in
       Sim.Timeseries.value_at ts query = expected)
 
+(* ------------------------------------------------------------------ *)
+(* Invariant auditing *)
+
+let test_invariant_require () =
+  Sim.Invariant.require ~what:"fine" true;
+  Alcotest.check_raises "failed check raises" (Sim.Invariant.Violation "broken")
+    (fun () -> Sim.Invariant.require ~what:"broken" false);
+  Alcotest.check_raises "lazy message built on failure"
+    (Sim.Invariant.Violation "lazy") (fun () ->
+      Sim.Invariant.requiref ~what:(fun () -> "lazy") false)
+
+let test_invariant_default_toggle () =
+  let saved = Sim.Invariant.default () in
+  Sim.Invariant.set_default false;
+  Alcotest.(check bool) "off" false (Sim.Invariant.default ());
+  Sim.Invariant.set_default true;
+  Alcotest.(check bool) "on" true (Sim.Invariant.default ());
+  Sim.Invariant.set_default saved
+
+let test_engine_monotonicity_audited () =
+  (* Every step of a checked engine audits clock monotonicity, so the
+     global check counter must advance by at least the event count. *)
+  let before = Sim.Invariant.checks_run () in
+  let e = Sim.Engine.create ~check_invariants:true () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    ignore (Sim.Engine.schedule e ~delay:(float_of_int i) (fun () -> incr fired))
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check int) "all fired" 10 !fired;
+  Alcotest.(check bool) "auditing ran" true
+    (Sim.Invariant.checks_run () - before >= 10)
+
+(* Audit every runtime invariant (Sim.Invariant) in all suites. *)
+let () = Sim.Invariant.set_default true
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "sim"
@@ -568,5 +604,11 @@ let () =
           Alcotest.test_case "smooth zero window" `Quick
             test_timeseries_smooth_zero_window;
           qt prop_value_at_matches_scan;
+        ] );
+      ( "invariant",
+        [
+          Alcotest.test_case "require raises" `Quick test_invariant_require;
+          Alcotest.test_case "default toggle" `Quick test_invariant_default_toggle;
+          Alcotest.test_case "engine audited" `Quick test_engine_monotonicity_audited;
         ] );
     ]

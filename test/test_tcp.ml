@@ -15,7 +15,6 @@ type harness = {
   sender : Net.Tcp.Sender.t;
   receiver : Net.Tcp.Receiver.t;
   drop_next : bool ref;  (* drop the next transmission *)
-  drop_seqs : int list ref;  (* drop these sequences once *)
   drop_until : float ref;  (* drop everything before this time *)
 }
 
@@ -47,7 +46,7 @@ let make_harness ?(params = Net.Tcp.default_params) ?(delay = 0.05) () =
   in
   let sender = Net.Tcp.Sender.create ~engine ~params ~flow:1 ~micro:1 ~transmit () in
   sender_cell := Some sender;
-  { engine; sender; receiver; drop_next; drop_seqs; drop_until }
+  { engine; sender; receiver; drop_next; drop_until }
 
 let test_tcp_in_order_transfer () =
   let engine = Sim.Engine.create () in
@@ -415,6 +414,9 @@ let test_tcp_direct_droptail_no_differentiation () =
   (* The link is well utilized regardless. *)
   let total = g 1 +. g 2 +. g 3 in
   Alcotest.(check bool) "utilized" true (total /. 200. > 350.)
+
+(* Audit every runtime invariant (Sim.Invariant) in all suites. *)
+let () = Sim.Invariant.set_default true
 
 let () =
   Alcotest.run "tcp_and_aggregates"

@@ -408,50 +408,51 @@ let expect_parse_error fragment text =
       Alcotest.fail (Printf.sprintf "error %S does not mention %S" message fragment)
 
 let test_scenario_parse_errors () =
-  expect_parse_error "missing 'topology'" "duration 10
+  expect_parse_error "missing 'topology'"
+    {|duration 10
 flow 1 weight 1 from 1 to 2
-start 1 at 0";
+start 1 at 0|};
   expect_parse_error "unknown directive"
-    "topology chain cores=2
+    {|topology chain cores=2
 frobnicate
 duration 1
 flow 1 weight 1 from 1 to 2
-start 1 at 0";
+start 1 at 0|};
   expect_parse_error "duplicate flow"
-    "topology chain cores=2
+    {|topology chain cores=2
 duration 1
 flow 1 weight 1 from 1 to 2
 flow 1 weight 2 from 1 to 2
-start 1 at 0";
+start 1 at 0|};
   expect_parse_error "outside"
-    "topology chain cores=2
+    {|topology chain cores=2
 duration 1
 flow 1 weight 1 from 1 to 5
-start 1 at 0";
+start 1 at 0|};
   expect_parse_error "undefined flow"
-    "topology chain cores=2
+    {|topology chain cores=2
 duration 1
 flow 1 weight 1 from 1 to 2
-start 9 at 0";
+start 9 at 0|};
   expect_parse_error "missing 'duration'"
-    "topology chain cores=2
+    {|topology chain cores=2
 flow 1 weight 1 from 1 to 2
-start 1 at 0";
+start 1 at 0|};
   expect_parse_error "no start"
-    "topology chain cores=2
+    {|topology chain cores=2
 duration 1
-flow 1 weight 1 from 1 to 2";
+flow 1 weight 1 from 1 to 2|};
   expect_parse_error "unknown scheme"
-    "topology chain cores=2
+    {|topology chain cores=2
 scheme bogus
 duration 1
 flow 1 weight 1 from 1 to 2
-start 1 at 0";
+start 1 at 0|};
   expect_parse_error "expected a number"
-    "topology chain cores=2
+    {|topology chain cores=2
 duration abc
 flow 1 weight 1 from 1 to 2
-start 1 at 0"
+start 1 at 0|}
 
 let scenario_gen =
   QCheck.Gen.(
@@ -567,6 +568,9 @@ let test_csv_roundtrip_shape () =
     (fun f -> Sys.remove (Filename.concat dir ("smoke_" ^ f ^ ".csv")))
     [ "rates"; "goodput"; "cumulative" ];
   Sys.rmdir dir
+
+(* Audit every runtime invariant (Sim.Invariant) in all suites. *)
+let () = Sim.Invariant.set_default true
 
 let () =
   Alcotest.run "workload"

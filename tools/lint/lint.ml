@@ -1,0 +1,353 @@
+(* See lint.mli for the rule catalogue. The pass parses sources with
+   compiler-libs (no type information), so rule L2 is a syntactic
+   approximation: a comparison is "float-typed" when one operand is a
+   float literal, float arithmetic, a known float conversion or an
+   explicit [: float] constraint. That catches every real site in this
+   tree while never flagging integer code. *)
+
+type rule =
+  | L1_determinism
+  | L2_float_equality
+  | L3_logging
+  | L4_mli_coverage
+  | L5_unsafe
+  | Parse_error
+
+let rule_name = function
+  | L1_determinism -> "L1/determinism"
+  | L2_float_equality -> "L2/float-eq"
+  | L3_logging -> "L3/logging"
+  | L4_mli_coverage -> "L4/mli-coverage"
+  | L5_unsafe -> "L5/unsafe"
+  | Parse_error -> "parse-error"
+
+let waiver_token = function
+  | L1_determinism -> Some "determinism-ok"
+  | L2_float_equality -> Some "float-eq-ok"
+  | L3_logging -> Some "logging-ok"
+  | L4_mli_coverage -> Some "mli-ok"
+  | L5_unsafe -> Some "unsafe-ok"
+  | Parse_error -> None
+
+type violation = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  message : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Path scoping *)
+
+let path_components path = String.split_on_char '/' path
+
+(* Library code lives under a [lib] directory component; rules L3-L5
+   apply only there. *)
+let in_lib path = List.mem "lib" (path_components path)
+
+(* The one place allowed to own raw randomness. *)
+let l1_allowlisted path =
+  String.ends_with ~suffix:"lib/sim/rng.ml" path
+  || String.ends_with ~suffix:"lib/sim/rng.mli" path
+
+(* ------------------------------------------------------------------ *)
+(* Rule predicates over flattened identifier paths *)
+
+let l1_banned_ident = function
+  | "Random" :: _ | "Stdlib" :: "Random" :: _ ->
+    Some "Stdlib.Random is banned; draw from Sim.Rng so runs stay reproducible"
+  | [ "Unix"; ("gettimeofday" | "time") ] ->
+    Some "wall-clock reads are banned; simulation time comes from Sim.Engine.now"
+  | [ "Sys"; "time" ] ->
+    Some "Sys.time is banned; simulation time comes from Sim.Engine.now"
+  | _ -> None
+
+let l3_banned_ident path =
+  let bare = function
+    | "print_endline" | "print_string" | "print_newline" | "print_char"
+    | "print_int" | "print_float" | "prerr_endline" | "prerr_string"
+    | "prerr_newline" ->
+      true
+    | _ -> false
+  in
+  match path with
+  | [ f ] | [ "Stdlib"; f ] ->
+    if bare f then Some (f ^ " is banned in lib/; log through Logs") else None
+  | [ "Printf"; (("printf" | "eprintf") as f) ]
+  | [ "Stdlib"; "Printf"; (("printf" | "eprintf") as f) ] ->
+    Some ("Printf." ^ f ^ " is banned in lib/; log through Logs")
+  | [ "Format"; (("printf" | "eprintf" | "print_string" | "print_newline") as f) ]
+  | [ "Stdlib"; "Format"; (("printf" | "eprintf" | "print_string" | "print_newline") as f) ]
+    ->
+    Some ("Format." ^ f ^ " is banned in lib/; log through Logs")
+  | _ -> None
+
+let l5_banned_ident = function
+  | [ "Obj"; "magic" ] | [ "Stdlib"; "Obj"; "magic" ] ->
+    Some "Obj.magic is banned in lib/"
+  | [ "Stdlib"; "exit" ] ->
+    Some "exit is banned in lib/; raise and let the caller decide"
+  | _ -> None
+
+(* A bare [exit] is only a violation when it is actually called —
+   [exit] is also a perfectly good variable name (e.g. a flow's exit
+   core), and without type information an identifier-position ban
+   would drown in false positives. *)
+let l5_banned_call = function
+  | [ "exit" ] -> Some "exit is banned in lib/; raise and let the caller decide"
+  | _ -> None
+
+let eq_operator = function
+  | [ (("=" | "<>" | "==" | "!=" | "compare") as op) ]
+  | [ "Stdlib"; (("=" | "<>" | "==" | "!=" | "compare") as op) ] ->
+    Some op
+  | _ -> None
+
+let float_arith = [ "+."; "-."; "*."; "/."; "**"; "~-." ]
+
+let float_returning = function
+  | [ "float_of_int" ] | [ "float_of_string" ] -> true
+  | [ op ] | [ "Stdlib"; op ] when List.mem op float_arith -> true
+  | [ "Float"; f ] ->
+    List.mem f
+      [ "of_int"; "of_string"; "add"; "sub"; "mul"; "div"; "neg"; "abs"; "rem";
+        "pow"; "min"; "max"; "sqrt"; "exp"; "log"; "round"; "trunc"; "succ";
+        "pred" ]
+  | [ ("Int" | "Int32" | "Int64" | "Nativeint"); "to_float" ] -> true
+  | _ -> false
+
+let is_float_type (t : Parsetree.core_type) =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt = Lident "float"; _ }, [])
+  | Ptyp_constr ({ txt = Ldot (Lident "Stdlib", "float"); _ }, []) ->
+    true
+  | _ -> false
+
+let rec floatish (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint (_, t) -> is_float_type t
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+    float_returning (Longident.flatten txt)
+  | Pexp_ifthenelse (_, a, Some b) -> floatish a || floatish b
+  | Pexp_sequence (_, e) | Pexp_letmodule (_, _, e) | Pexp_open (_, e) ->
+    floatish e
+  | Pexp_let (_, _, e) -> floatish e
+  | _ -> false
+
+let is_false_literal (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Lident "false"; _ }, None) -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* AST traversal *)
+
+type ctx = {
+  file : string;
+  lib_scope : bool;
+  rng_allowlisted : bool;
+  mutable found : violation list;
+}
+
+let add ctx rule (loc : Location.t) message =
+  let p = loc.loc_start in
+  ctx.found <-
+    {
+      file = ctx.file;
+      line = p.pos_lnum;
+      col = p.pos_cnum - p.pos_bol;
+      rule;
+      message;
+    }
+    :: ctx.found
+
+let check_ident ctx (loc : Location.t) path =
+  (if not ctx.rng_allowlisted then
+     match l1_banned_ident path with
+     | Some msg -> add ctx L1_determinism loc msg
+     | None -> ());
+  if ctx.lib_scope then begin
+    (match l3_banned_ident path with
+    | Some msg -> add ctx L3_logging loc msg
+    | None -> ());
+    match l5_banned_ident path with
+    | Some msg -> add ctx L5_unsafe loc msg
+    | None -> ()
+  end
+
+let is_hashtbl_create = function
+  | [ "Hashtbl"; "create" ] | [ "Stdlib"; "Hashtbl"; "create" ] -> true
+  | _ -> false
+
+let iterator ctx =
+  let open Ast_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> check_ident ctx loc (Longident.flatten txt)
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+      let path = Longident.flatten txt in
+      (match (eq_operator path, args) with
+      | Some op, [ (Asttypes.Nolabel, a); (Asttypes.Nolabel, b) ]
+        when floatish a || floatish b ->
+        add ctx L2_float_equality e.pexp_loc
+          ("(" ^ op
+         ^ ") on float operands; use a tolerance (e.g. Sim.Floats.near) or waive")
+      | _ -> ());
+      (if ctx.lib_scope then
+         match l5_banned_call path with
+         | Some msg -> add ctx L5_unsafe e.pexp_loc msg
+         | None -> ());
+      if (not ctx.rng_allowlisted) && is_hashtbl_create path then
+        match
+          List.find_opt
+            (fun (label, value) ->
+              label = Asttypes.Labelled "random" && not (is_false_literal value))
+            args
+        with
+        | Some _ ->
+          add ctx L1_determinism e.pexp_loc
+            "Hashtbl.create ~random:true is banned; iteration order must be stable"
+        | None -> ())
+    | _ -> ());
+    default_iterator.expr it e
+  in
+  let module_expr it (m : Parsetree.module_expr) =
+    (match m.pmod_desc with
+    | Pmod_ident { txt; loc } -> (
+      if not ctx.rng_allowlisted then
+        match l1_banned_ident (Longident.flatten txt) with
+        | Some msg -> add ctx L1_determinism loc msg
+        | None -> ())
+    | _ -> ());
+    default_iterator.module_expr it m
+  in
+  { default_iterator with expr; module_expr }
+
+(* ------------------------------------------------------------------ *)
+(* Parsing and waivers *)
+
+type parsed =
+  | Impl of Parsetree.structure
+  | Intf of Parsetree.signature
+
+let parse_file path =
+  let source = In_channel.with_open_bin path In_channel.input_all in
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  let ast =
+    if Filename.check_suffix path ".mli" then Intf (Parse.interface lexbuf)
+    else Impl (Parse.implementation lexbuf)
+  in
+  (ast, String.split_on_char '\n' source)
+
+let line_waives lines n token =
+  n >= 1
+  && n <= Array.length lines
+  && (let text = lines.(n - 1) in
+      let probe = "lint: " ^ token in
+      (* substring search; waiver comments are rare and short *)
+      let tl = String.length text and pl = String.length probe in
+      let rec scan i = i + pl <= tl && (String.sub text i pl = probe || scan (i + 1)) in
+      scan 0)
+
+let waived lines v =
+  match waiver_token v.rule with
+  | None -> false
+  | Some token -> line_waives lines v.line token || line_waives lines (v.line - 1) token
+
+let lint_file path =
+  match parse_file path with
+  | exception Syntaxerr.Error err ->
+    let loc = Syntaxerr.location_of_error err in
+    [
+      {
+        file = path;
+        line = loc.loc_start.pos_lnum;
+        col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+        rule = Parse_error;
+        message = "syntax error";
+      };
+    ]
+  | exception e ->
+    [ { file = path; line = 1; col = 0; rule = Parse_error; message = Printexc.to_string e } ]
+  | ast, lines ->
+    let ctx =
+      {
+        file = path;
+        lib_scope = in_lib path;
+        rng_allowlisted = l1_allowlisted path;
+        found = [];
+      }
+    in
+    let it = iterator ctx in
+    (match ast with
+    | Impl structure -> it.structure it structure
+    | Intf signature -> it.signature it signature);
+    let lines = Array.of_list lines in
+    List.filter (fun v -> not (waived lines v)) ctx.found
+
+(* ------------------------------------------------------------------ *)
+(* File discovery and L4 *)
+
+let is_source path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    let entries = Sys.readdir path in
+    Array.sort compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        if String.length entry > 0 && entry.[0] = '.' then acc
+        else if entry = "_build" then acc
+        else walk (Filename.concat path entry) acc)
+      acc entries
+  else if is_source path then path :: acc
+  else acc
+
+let first_lines_waive path token =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | source ->
+    let lines = Array.of_list (String.split_on_char '\n' source) in
+    line_waives lines 1 token || line_waives lines 2 token || line_waives lines 3 token
+  | exception _ -> false
+
+let mli_coverage ~roots =
+  let files = List.fold_left (fun acc root -> walk root acc) [] roots in
+  List.filter_map
+    (fun path ->
+      if
+        Filename.check_suffix path ".ml"
+        && in_lib path
+        && not (Sys.file_exists (path ^ "i"))
+        && not (first_lines_waive path "mli-ok")
+      then
+        Some
+          {
+            file = path;
+            line = 1;
+            col = 0;
+            rule = L4_mli_coverage;
+            message = "missing interface " ^ Filename.basename path ^ "i";
+          }
+      else None)
+    files
+
+let compare_violation (a : violation) (b : violation) =
+  match compare a.file b.file with
+  | 0 -> ( match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
+  | c -> c
+
+let lint_paths roots =
+  let files = List.fold_left (fun acc root -> walk root acc) [] roots in
+  let expr_violations = List.concat_map lint_file files in
+  List.sort compare_violation (expr_violations @ mli_coverage ~roots)
+
+let report ppf violations =
+  List.iter
+    (fun (v : violation) ->
+      Format.fprintf ppf "%s:%d:%d: [%s] %s@." v.file v.line v.col
+        (rule_name v.rule) v.message)
+    violations

@@ -1,0 +1,72 @@
+(** Corelite's project linter: determinism and invariant hygiene.
+
+    The simulator's headline claim — weighted max-min fairness with no
+    per-flow core state — is only reproducible if every run is strictly
+    deterministic. This pass mechanically enforces the house rules that
+    keep it so:
+
+    - {b L1 determinism}: [Stdlib.Random], [Unix.gettimeofday],
+      [Unix.time], [Sys.time] and [Hashtbl.create ~random:true] are
+      banned everywhere except [lib/sim/rng.ml]; all stochastic
+      behaviour must flow through [Sim.Rng].
+    - {b L2 float equality}: [=], [<>], [==], [!=] and polymorphic
+      [compare] applied to a syntactically float-typed operand (float
+      literal, float arithmetic, [float_of_int], a [: float]
+      constraint) are flagged; use a tolerance helper such as
+      [Sim.Floats.near] or waive the line explicitly.
+    - {b L3 logging hygiene}: direct printing ([print_endline],
+      [Printf.printf], [Format.printf], ...) is banned inside [lib/];
+      libraries must log through [Logs].
+    - {b L4 interface coverage}: every [.ml] under [lib/] must have a
+      matching [.mli].
+    - {b L5 unsafe escape hatches}: [Obj.magic] (in any position) and
+      calls to [exit] are banned inside [lib/]. A bare, un-applied
+      [exit] identifier is allowed — it is also a fine variable name
+      (e.g. a flow's exit core) and cannot be told apart without
+      types.
+
+    A violation on line [n] is waived when line [n] or [n - 1] carries
+    a comment containing [lint: <token>] with the rule's waiver token
+    (see {!waiver_token}); rule L4 is waived by a [lint: mli-ok]
+    comment in the first three lines of the uncovered [.ml]. *)
+
+type rule =
+  | L1_determinism
+  | L2_float_equality
+  | L3_logging
+  | L4_mli_coverage
+  | L5_unsafe
+  | Parse_error  (** a file that does not parse; never waivable *)
+
+(** Short machine-readable identifier, e.g. ["L1/determinism"]. *)
+val rule_name : rule -> string
+
+(** The token accepted in a [lint: <token>] waiver comment, e.g.
+    ["float-eq-ok"] for {!L2_float_equality}. [None] for parse
+    errors, which cannot be waived. *)
+val waiver_token : rule -> string option
+
+type violation = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler convention *)
+  rule : rule;
+  message : string;
+}
+
+(** [lint_file path] runs the expression-level rules (L1, L2, L3, L5)
+    on one [.ml] or [.mli] file, applying scope rules (L3/L5 only
+    under [lib/]), the L1 allowlist and waiver comments. *)
+val lint_file : string -> violation list
+
+(** [mli_coverage ~roots] runs L4 over every [.ml] under the [lib/]
+    portions of [roots]. *)
+val mli_coverage : roots:string list -> violation list
+
+(** [lint_paths roots] walks [roots] (directories or single files),
+    runs every rule, and returns violations sorted by file, line and
+    column. *)
+val lint_paths : string list -> violation list
+
+(** One line per violation: [file:line:col: [RULE] message]. *)
+val report : Format.formatter -> violation list -> unit

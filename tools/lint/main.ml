@@ -1,0 +1,22 @@
+(* corelite-lint: run the project lint rules over source directories.
+
+   Usage: corelite-lint [PATH ...]   (defaults to lib bin bench test)
+
+   Prints one machine-readable line per violation
+   ([file:line:col: [RULE] message]) and exits non-zero when any
+   violation remains unwaived. *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let roots = match args with [] -> [ "lib"; "bin"; "bench"; "test" ] | _ -> args in
+  let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+  List.iter (fun r -> prerr_endline ("corelite-lint: no such path: " ^ r)) missing;
+  if missing <> [] then exit 2;
+  let violations = Corelite_lint.Lint.lint_paths roots in
+  Corelite_lint.Lint.report Format.std_formatter violations;
+  match violations with
+  | [] -> prerr_endline "corelite-lint: clean"
+  | vs ->
+    prerr_endline
+      ("corelite-lint: " ^ string_of_int (List.length vs) ^ " violation(s)");
+    exit 1
