@@ -1,0 +1,143 @@
+(* Serial-vs-parallel regeneration benchmark for the figure scenarios.
+
+   Runs the figure set twice — once serially, once sharded across
+   domains through Workload.Pool — times both, verifies that the pooled
+   run is bit-identical to the serial one (CSV payloads and summaries),
+   and writes a machine-readable report to results/BENCH_parallel.json.
+
+   Exits non-zero if the determinism check fails, so CI can use it as a
+   smoke test:  dune exec bench/parallel_bench.exe -- --quick -j 2
+
+   Wall-clock timing is the entire point of this harness, hence the
+   explicit waivers on the L1 wall-clock ban below. *)
+
+let now () = Unix.gettimeofday () (* lint: determinism-ok *)
+
+let domains = ref (Workload.Pool.default_domains ())
+
+let quick = ref false
+
+let out_path = ref (Filename.concat "results" "BENCH_parallel.json")
+
+let specs () =
+  if !quick then
+    (* The sub-second scenarios: enough to exercise sharding and the
+       determinism check without the 2 s fig3/fig4 runs. *)
+    [
+      Workload.Figures.fig5 (); Workload.Figures.fig6 ();
+      Workload.Figures.fig7 (); Workload.Figures.fig8 ();
+    ]
+  else Workload.Figures.all ()
+
+(* Everything we compare between the two runs: the exact CSV bytes the
+   coordinator would write, plus the summary the tables are built from. *)
+type observation = {
+  spec : Workload.Figures.spec;
+  payloads : (string * string) list;
+  summary : Workload.Figures.summary;
+  events : int;
+  wall_s : float;  (* serial pass only; 0 in the parallel pass *)
+}
+
+let observe (spec : Workload.Figures.spec) (result : Workload.Runner.result) wall_s
+    =
+  {
+    spec;
+    payloads = Workload.Csv.result_strings result;
+    summary = Workload.Figures.summarize spec result;
+    events = Sim.Engine.executed result.Workload.Runner.network.Workload.Network.engine;
+    wall_s;
+  }
+
+let serial_pass () =
+  List.map
+    (fun spec ->
+      let t0 = now () in
+      let result = Workload.Figures.run spec in
+      let wall = now () -. t0 in
+      observe spec result wall)
+    (specs ())
+
+let parallel_pass () =
+  let t0 = now () in
+  let runs = Workload.Figures.run_all ~domains:!domains (specs ()) in
+  let wall = now () -. t0 in
+  (List.map (fun (spec, result) -> observe spec result 0.) runs, wall)
+
+let identical (a : observation) (b : observation) =
+  a.payloads = b.payloads && a.summary = b.summary && a.events = b.events
+
+(* ------------------------------------------------------------------ *)
+(* Hand-rolled JSON (no JSON dependency in the image). *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_report ~serial ~serial_total ~parallel_total ~deterministic =
+  let oc = open_out !out_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"harness\": \"bench/parallel_bench.ml\",\n";
+  p "  \"mode\": \"%s\",\n" (if !quick then "quick" else "full");
+  p "  \"recommended_domain_count\": %d,\n"
+    (Workload.Pool.default_domains ());
+  p "  \"domains\": %d,\n" !domains;
+  p "  \"figures\": [\n";
+  List.iteri
+    (fun i o ->
+      p "    {\"id\": \"%s\", \"wall_s\": %.4f, \"events\": %d, \
+         \"events_per_s\": %.0f}%s\n"
+        (escape o.spec.Workload.Figures.id)
+        o.wall_s o.events
+        (float_of_int o.events /. Float.max 1e-9 o.wall_s)
+        (if i = List.length serial - 1 then "" else ","))
+    serial;
+  p "  ],\n";
+  p "  \"serial_total_s\": %.4f,\n" serial_total;
+  p "  \"parallel_total_s\": %.4f,\n" parallel_total;
+  p "  \"speedup\": %.3f,\n" (serial_total /. Float.max 1e-9 parallel_total);
+  p "  \"deterministic\": %b\n" deterministic;
+  p "}\n";
+  close_out oc
+
+let () =
+  Arg.parse
+    [
+      ("-j", Arg.Set_int domains, "N  shard the parallel pass over N domains");
+      ("--domains", Arg.Set_int domains, "N  same as -j");
+      ("--quick", Arg.Set quick, "  reduced scenario set (CI smoke test)");
+      ("--out", Arg.Set_string out_path, "PATH  report path (default results/BENCH_parallel.json)");
+    ]
+    (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
+    "parallel_bench.exe [-j N] [--quick] [--out PATH]";
+  let serial = serial_pass () in
+  let serial_total = List.fold_left (fun acc o -> acc +. o.wall_s) 0. serial in
+  let parallel, parallel_total = parallel_pass () in
+  let deterministic = List.for_all2 identical serial parallel in
+  write_report ~serial ~serial_total ~parallel_total ~deterministic;
+  List.iter
+    (fun o ->
+      Printf.printf "%-6s %7.3f s  %9d events  %10.0f events/s\n"
+        o.spec.Workload.Figures.id o.wall_s o.events
+        (float_of_int o.events /. Float.max 1e-9 o.wall_s))
+    serial;
+  Printf.printf
+    "serial %.3f s  parallel(%d domains) %.3f s  speedup %.2fx  deterministic %b\n"
+    serial_total !domains parallel_total
+    (serial_total /. Float.max 1e-9 parallel_total)
+    deterministic;
+  Printf.printf "report: %s\n" !out_path;
+  if not deterministic then begin
+    prerr_endline "parallel_bench: PARALLEL RUN DIVERGED FROM SERIAL";
+    exit 1
+  end

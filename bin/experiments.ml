@@ -4,25 +4,35 @@
      writes the full per-second CSV series under results/;
    - the restart-recovery comparison behind the Figures 9/10 discussion;
    - the Section 4.4 sensitivity sweeps and the ablations;
+   - a pooled scenario battery exercising the per-scenario RNG streams;
    - the TCP-aggregation extension.
+
+   Every scenario is submitted through Workload.Pool, so the suite
+   shards across domains with [-j N]; results and stdout are
+   bit-identical to a serial run ([-j 1]) by construction — jobs return
+   payloads and only this coordinator prints or touches the filesystem.
 
    Output feeds EXPERIMENTS.md. Run with: dune exec bin/experiments.exe *)
 
 let results_dir = "results"
+
+let domains = ref (Workload.Pool.default_domains ())
 
 let hr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 let figures () =
   hr "Figures 3-10";
+  let runs =
+    Workload.Figures.run_all ~domains:!domains (Workload.Figures.all ())
+  in
   List.iter
-    (fun spec ->
-      let result = Workload.Figures.run spec in
+    (fun (spec, result) ->
       let summary = Workload.Figures.summarize spec result in
       Workload.Figures.pp_summary Format.std_formatter summary;
       Workload.Csv.write_result ~dir:results_dir ~prefix:spec.Workload.Figures.id
         result)
-    (Workload.Figures.all ());
+    runs;
   Printf.printf "\nCSV series written under %s/\n" results_dir
 
 (* The Figures 9/10 discussion: how fast do restarted high-weight flows
@@ -30,9 +40,12 @@ let figures () =
    10 and 15; fair share 71.4 pkt/s. *)
 let restart_recovery () =
   hr "Figures 9/10: restart recovery of weight-3 flows (time to 80% of share)";
+  let runs =
+    Workload.Figures.run_all ~domains:!domains
+      [ Workload.Figures.fig9 (); Workload.Figures.fig10 () ]
+  in
   List.iter
-    (fun (spec : Workload.Figures.spec) ->
-      let result = Workload.Figures.run spec in
+    (fun ((spec : Workload.Figures.spec), result) ->
       Printf.printf "%-8s:"
         (Workload.Runner.scheme_name spec.Workload.Figures.scheme);
       List.iter
@@ -46,41 +59,49 @@ let restart_recovery () =
           | None -> Printf.printf "  flow %d:  none " flow)
         [ 5; 10; 15 ];
       print_newline ())
-    [ Workload.Figures.fig9 (); Workload.Figures.fig10 () ]
+    runs
 
 (* Queue dynamics at the first congested link under both schemes: the
    "incipient congestion" behaviour the whole design is about. Corelite
    should hover near the 8-packet threshold; CSFQ fills the buffer. *)
 let queue_dynamics () =
   hr "Queue dynamics at link C1->C2 (Figure 5/6 workload)";
-  List.iter
-    (fun (spec : Workload.Figures.spec) ->
-      let engine = Sim.Engine.create () in
-      let network = spec.Workload.Figures.make_network ~engine in
-      let bottleneck = List.hd network.Workload.Network.core_links in
-      let probe = Net.Probe.attach ~engine ~period:0.5 bottleneck in
-      let _ =
-        Workload.Runner.run ~scheme:spec.Workload.Figures.scheme ~network
-          ~schedule:spec.Workload.Figures.schedule
-          ~duration:spec.Workload.Figures.duration ()
-      in
-      let queue = Net.Probe.queue_series probe in
-      let mean_queue =
-        Option.value ~default:0.
-          (Sim.Timeseries.window_mean queue ~from:20. ~until:80.)
-      in
+  let job (spec : Workload.Figures.spec) =
+    Workload.Pool.job ~id:(spec.Workload.Figures.id ^ "-queue") (fun () ->
+        let engine = Sim.Engine.create () in
+        let network = spec.Workload.Figures.make_network ~engine in
+        let bottleneck = List.hd network.Workload.Network.core_links in
+        let probe = Net.Probe.attach ~engine ~period:0.5 bottleneck in
+        let _ =
+          Workload.Runner.run ~scheme:spec.Workload.Figures.scheme ~network
+            ~schedule:spec.Workload.Figures.schedule
+            ~duration:spec.Workload.Figures.duration ()
+        in
+        let queue = Net.Probe.queue_series probe in
+        let mean_queue =
+          Option.value ~default:0.
+            (Sim.Timeseries.window_mean queue ~from:20. ~until:80.)
+        in
+        ( Workload.Runner.scheme_name spec.Workload.Figures.scheme,
+          mean_queue,
+          Net.Probe.peak_queue probe,
+          Net.Probe.mean_utilization probe,
+          [ (0, queue); (1, Net.Probe.throughput_series probe);
+            (2, Net.Probe.drop_series probe) ] ))
+  in
+  let specs = [ Workload.Figures.fig5 (); Workload.Figures.fig6 () ] in
+  let outcomes = Workload.Pool.map ~domains:!domains (List.map job specs) in
+  List.iter2
+    (fun (spec : Workload.Figures.spec) (scheme, mean_queue, peak, util, series) ->
       Printf.printf
-        "%-8s: mean queue %.1f pkts  peak %d/40  utilization %.1f%%\n"
-        (Workload.Runner.scheme_name spec.Workload.Figures.scheme)
-        mean_queue (Net.Probe.peak_queue probe)
-        (100. *. Net.Probe.mean_utilization probe);
+        "%-8s: mean queue %.1f pkts  peak %d/40  utilization %.1f%%\n" scheme
+        mean_queue peak (100. *. util);
       Workload.Csv.write_series
         ~path:
           (Filename.concat results_dir
              (Printf.sprintf "%s_queue.csv" spec.Workload.Figures.id))
-        [ (0, queue); (1, Net.Probe.throughput_series probe);
-          (2, Net.Probe.drop_series probe) ])
-    [ Workload.Figures.fig5 (); Workload.Figures.fig6 () ]
+        series)
+    specs outcomes
 
 let sweeps () =
   hr "Section 4.4 sensitivity sweeps and ablations";
@@ -88,7 +109,53 @@ let sweeps () =
     (fun named ->
       Workload.Sweeps.pp_points Format.std_formatter named;
       Format.print_newline ())
-    (Workload.Sweeps.all ())
+    (Workload.Sweeps.all_parallel ~domains:!domains ())
+
+(* A small battery through Pool.run_scenarios: same Figure 5 workload
+   under all three schemes, each scenario drawing from its own
+   (seed, label)-derived RNG stream on a pool-owned (reused, reset)
+   engine. The numbers differ slightly from the fig5/fig6 tables above
+   because the stream differs from the historical root seed — that is
+   the point: adding or reordering scenarios here cannot perturb any
+   other scenario's draw sequence. *)
+let scenario_battery () =
+  hr "Pooled scenario battery (per-scenario RNG streams, seed 42)";
+  let scheme_scenario label scheme =
+    {
+      Workload.Pool.label;
+      scenario =
+        (fun ~engine ~rng ->
+          let network =
+            Workload.Network.topology1 ~engine
+              ~flow_ids:(List.init 10 (fun i -> i + 1))
+              ~weights:Workload.Figures.weights_s42 ()
+          in
+          let result =
+            Workload.Runner.run ~scheme ~network ~rng
+              ~schedule:(List.init 10 (fun i -> (0., Workload.Runner.Start (i + 1))))
+              ~duration:80. ()
+          in
+          ( Workload.Runner.jain result ~from:50. ~until:80.,
+            result.Workload.Runner.core_drops,
+            Sim.Engine.executed engine ))
+    }
+  in
+  let scenarios =
+    [
+      scheme_scenario "battery/corelite"
+        (Workload.Runner.Corelite Corelite.Params.default);
+      scheme_scenario "battery/csfq" (Workload.Runner.Csfq Csfq.Params.default);
+      scheme_scenario "battery/plain" (Workload.Runner.Plain Csfq.Params.default);
+    ]
+  in
+  let results =
+    Workload.Pool.run_scenarios ~domains:!domains ~seed:42 scenarios
+  in
+  List.iter2
+    (fun (s : _ Workload.Pool.scenario) (jain, drops, events) ->
+      Printf.printf "%-18s jain=%.4f drops=%5d events=%d\n" s.Workload.Pool.label
+        jain drops events)
+    scenarios results
 
 let tcp_extension () =
   hr "Extension: TCP micro-flows in shaped aggregates";
@@ -118,9 +185,22 @@ let tcp_extension () =
     (Workload.Tcp_workload.aggregate_goodputs tcp)
 
 let () =
+  Arg.parse
+    [
+      ( "-j",
+        Arg.Set_int domains,
+        "N  shard scenarios over N domains (default: recommended count; \
+         results are identical for any N)" );
+      ( "--domains",
+        Arg.Set_int domains,
+        "N  same as -j" );
+    ]
+    (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
+    "experiments.exe [-j N]";
   Printf.printf "Corelite reproduction: full experiment suite\n";
   figures ();
   restart_recovery ();
   queue_dynamics ();
   sweeps ();
+  scenario_battery ();
   tcp_extension ()

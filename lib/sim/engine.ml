@@ -5,17 +5,33 @@ type event = { action : unit -> unit; handle : handle }
 type t = {
   mutable clock : float;
   mutable seq : int;
+  mutable executed : int;
   queue : event Event_queue.t;
-  check : bool;
+  mutable check : bool;
 }
 
 let create ?check_invariants () =
   let check =
     match check_invariants with Some b -> b | None -> Invariant.default ()
   in
-  { clock = 0.; seq = 0; queue = Event_queue.create (); check }
+  { clock = 0.; seq = 0; executed = 0; queue = Event_queue.create (); check }
+
+let reset ?check_invariants t =
+  t.clock <- 0.;
+  (* The seq counter must restart from 0: it breaks ties among
+     simultaneous events, so a reused engine that kept counting would
+     order a replayed scenario identically only by luck. *)
+  t.seq <- 0;
+  t.executed <- 0;
+  Event_queue.clear t.queue;
+  t.check <-
+    (match check_invariants with Some b -> b | None -> Invariant.default ())
 
 let now t = t.clock
+
+let executed t = t.executed
+
+let events_scheduled t = t.seq
 
 let pending t = Event_queue.length t.queue
 
@@ -61,6 +77,7 @@ let step t =
       Invariant.require ~what:"Engine: event time behind the clock (time must be monotone)"
         (time >= t.clock);
     t.clock <- time;
+    t.executed <- t.executed + 1;
     if not event.handle.cancelled then event.action ();
     true
 

@@ -16,11 +16,27 @@ type handle
     it breaks. *)
 val create : ?check_invariants:bool -> unit -> t
 
+(** [reset t] returns the engine to the freshly-created state: clock at
+    [0.], event queue empty, sequence and executed-event counters at
+    zero, and the invariant-auditing flag re-resolved ([check_invariants]
+    defaulting to {!Invariant.default} again). A reset engine replays
+    any event program bit-for-bit identically to a brand-new one — the
+    contract {!Workload.Pool} workers rely on when reusing one engine
+    across scenario jobs. *)
+val reset : ?check_invariants:bool -> t -> unit
+
 (** Current virtual time in seconds. *)
 val now : t -> float
 
 (** Number of events still pending. *)
 val pending : t -> int
+
+(** Events executed since creation (or the last {!reset}) — the
+    events/sec denominator the bench harness reports. *)
+val executed : t -> int
+
+(** Events scheduled since creation (or the last {!reset}). *)
+val events_scheduled : t -> int
 
 (** [schedule t ~delay f] fires [f] at [now t +. delay].
     @raise Invalid_argument if [delay] is negative or not finite. *)

@@ -9,6 +9,12 @@ let initial_capacity = 64
 
 let create () = { data = [||]; size = 0 }
 
+let clear q =
+  (* Drop the storage too: a cleared queue must not pin the payloads of
+     a previous run alive (pool workers keep queues across scenarios). *)
+  q.data <- [||];
+  q.size <- 0
+
 let length q = q.size
 
 let is_empty q = q.size = 0

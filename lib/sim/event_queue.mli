@@ -7,6 +7,11 @@ type 'a t
 
 val create : unit -> 'a t
 
+(** [clear q] empties the queue and releases its storage, returning it
+    to the freshly-created state (used when an engine is reset between
+    pooled scenario runs). *)
+val clear : 'a t -> unit
+
 val length : 'a t -> int
 
 val is_empty : 'a t -> bool

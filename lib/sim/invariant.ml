@@ -1,19 +1,22 @@
 exception Violation of string
 
-let enabled_by_default = ref false
+(* Both cells are read and written from every pool worker domain, so
+   they must be atomic: a plain [ref] would race (and the check counter
+   would drop increments) the moment scenarios run in parallel. *)
+let enabled_by_default = Atomic.make false
 
-let set_default b = enabled_by_default := b
+let set_default b = Atomic.set enabled_by_default b
 
-let default () = !enabled_by_default
+let default () = Atomic.get enabled_by_default
 
-let checks = ref 0
+let checks = Atomic.make 0
 
-let checks_run () = !checks
+let checks_run () = Atomic.get checks
 
 let require ~what cond =
-  incr checks;
+  Atomic.incr checks;
   if not cond then raise (Violation what)
 
 let requiref ~what cond =
-  incr checks;
+  Atomic.incr checks;
   if not cond then raise (Violation (what ()))

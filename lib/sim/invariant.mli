@@ -10,7 +10,10 @@
 
     The flag everywhere defaults to {!default}, so a test suite turns
     every check on globally with [Sim.Invariant.set_default true] and
-    production runs pay nothing. *)
+    production runs pay nothing.
+
+    All auditor state is atomic, so checks may run concurrently from
+    every {!Workload.Pool} worker domain without losing counts. *)
 
 exception Violation of string
 

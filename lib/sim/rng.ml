@@ -15,6 +15,28 @@ let bits64 t =
 
 let split t = { state = bits64 t }
 
+let stream t index =
+  (* Pure function of (state, index): unlike [split] it neither draws
+     from nor advances [t], so the derived stream is independent of how
+     many draws other substreams made — the property parallel scenario
+     execution relies on. [index + 1] keeps substream 0 distinct from
+     the parent's own continuation. *)
+  let jump = Int64.mul golden_gamma (Int64.of_int (index + 1)) in
+  { state = mix64 (Int64.add t.state jump) }
+
+(* FNV-1a, the stable 64-bit string hash behind scenario-id streams.
+   Hashtbl.hash is deterministic only within one compiler version, so
+   spell the hash out. *)
+let fnv1a label =
+  let offset_basis = 0xCBF29CE484222325L and prime = 0x00000100000001B3L in
+  let h = ref offset_basis in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    label;
+  Int64.to_int !h land max_int
+
+let scenario ~seed ~id = stream (create seed) (fnv1a id)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling over the top bits to avoid modulo bias. *)

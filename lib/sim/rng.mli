@@ -13,6 +13,22 @@ val create : int -> t
 (** A statistically independent generator derived from [t]'s stream. *)
 val split : t -> t
 
+(** [stream t index] is the [index]-th derived substream of [t]: a pure
+    function of [t]'s current state and [index] that neither draws from
+    nor advances [t]. Equal states and equal indices always yield the
+    same stream, regardless of what any other substream drew — the
+    derivation rule that makes parallel scenario execution bit-identical
+    to serial execution. [index] must be non-negative in practice
+    (negative indices work but may collide with [split]'s continuation). *)
+val stream : t -> int -> t
+
+(** [scenario ~seed ~id] is the canonical per-scenario stream:
+    [stream (create seed) (fnv1a id)], where [fnv1a] is a stable,
+    compiler-independent 64-bit FNV-1a hash of the scenario id. Every
+    run labelled [id] under root [seed] sees this stream, whether it
+    executes serially or on any pool worker. *)
+val scenario : seed:int -> id:string -> t
+
 (** Next raw 64-bit value. *)
 val bits64 : t -> int64
 

@@ -1,28 +1,44 @@
+let to_string series =
+  let buf = Buffer.create 4096 in
+  let ids = List.map fst series in
+  let columns = List.map (fun (_, ts) -> Sim.Timeseries.to_array ts) series in
+  Buffer.add_string buf "time";
+  List.iter (fun id -> Buffer.add_string buf (Printf.sprintf ",flow%d" id)) ids;
+  Buffer.add_char buf '\n';
+  let rows =
+    List.fold_left (fun acc c -> Stdlib.min acc (Array.length c)) max_int columns
+  in
+  let rows = if rows = max_int then 0 else rows in
+  for i = 0 to rows - 1 do
+    let time, _ = (List.hd columns).(i) in
+    Buffer.add_string buf (Printf.sprintf "%.3f" time);
+    List.iter
+      (fun column ->
+        let _, v = column.(i) in
+        Buffer.add_string buf (Printf.sprintf ",%.4f" v))
+      columns;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let result_strings (result : Runner.result) =
+  [
+    ("rates", to_string result.Runner.rate_series);
+    ("goodput", to_string result.Runner.goodput_series);
+    ("cumulative", to_string result.Runner.cumulative);
+  ]
+
 let write_series ~path series =
   let oc = open_out path in
   let finally () = close_out oc in
-  Fun.protect ~finally (fun () ->
-      let ids = List.map fst series in
-      let columns = List.map (fun (_, ts) -> Sim.Timeseries.to_array ts) series in
-      output_string oc "time";
-      List.iter (fun id -> output_string oc (Printf.sprintf ",flow%d" id)) ids;
-      output_char oc '\n';
-      let rows = List.fold_left (fun acc c -> Stdlib.min acc (Array.length c)) max_int columns in
-      let rows = if rows = max_int then 0 else rows in
-      for i = 0 to rows - 1 do
-        let time, _ = (List.hd columns).(i) in
-        output_string oc (Printf.sprintf "%.3f" time);
-        List.iter
-          (fun column ->
-            let _, v = column.(i) in
-            output_string oc (Printf.sprintf ",%.4f" v))
-          columns;
-        output_char oc '\n'
-      done)
+  Fun.protect ~finally (fun () -> output_string oc (to_string series))
 
 let write_result ~dir ~prefix (result : Runner.result) =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let file kind = Filename.concat dir (Printf.sprintf "%s_%s.csv" prefix kind) in
-  write_series ~path:(file "rates") result.Runner.rate_series;
-  write_series ~path:(file "goodput") result.Runner.goodput_series;
-  write_series ~path:(file "cumulative") result.Runner.cumulative
+  List.iter
+    (fun (kind, payload) ->
+      let path = Filename.concat dir (Printf.sprintf "%s_%s.csv" prefix kind) in
+      let oc = open_out path in
+      let finally () = close_out oc in
+      Fun.protect ~finally (fun () -> output_string oc payload))
+    (result_strings result)

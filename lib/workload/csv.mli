@@ -1,8 +1,20 @@
-(** CSV export of experiment series (for plotting the figures). *)
+(** CSV export of experiment series (for plotting the figures).
 
-(** [write_series ~path series] writes a wide CSV: first column [time],
-    one column per flow (header [flowN]). All series must share the
+    Rendering and writing are split so pool jobs can return CSV
+    payloads as strings — the byte-level currency of the serial-vs-
+    parallel determinism checks — while the coordinator alone touches
+    the filesystem. *)
+
+(** [to_string series] renders a wide CSV: first column [time], one
+    column per flow (header [flowN]). All series must share the
     sampling grid (the {!Runner} guarantees this). *)
+val to_string : (int * Sim.Timeseries.t) list -> string
+
+(** The three per-result payloads, as [(kind, csv)] pairs with kinds
+    ["rates"], ["goodput"] and ["cumulative"]. *)
+val result_strings : Runner.result -> (string * string) list
+
+(** [write_series ~path series] writes [to_string series] to [path]. *)
 val write_series : path:string -> (int * Sim.Timeseries.t) list -> unit
 
 (** Write [<prefix>_rates.csv], [<prefix>_goodput.csv] and

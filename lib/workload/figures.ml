@@ -140,6 +140,14 @@ let run ?(seed = 42) spec =
   Runner.run ~scheme:spec.scheme ~network ~seed ~schedule:spec.schedule
     ~duration:spec.duration ()
 
+(* Figure scenarios keep their historical RNG derivation (the root seed
+   itself), so published tables survive; the job closure is what the
+   pool shards. *)
+let job ?seed spec = Pool.job ~id:spec.id (fun () -> run ?seed spec)
+
+let run_all ?domains ?seed specs =
+  List.combine specs (Pool.map ?domains (List.map (job ?seed) specs))
+
 type flow_row = { flow : int; weight : float; measured : float; expected : float }
 
 type phase_summary = {

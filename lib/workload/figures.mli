@@ -57,6 +57,17 @@ val all : unit -> spec list
 (** Build the network, play the schedule, return the series. *)
 val run : ?seed:int -> spec -> Runner.result
 
+(** The same run packaged as a pool job (id = [spec.id]). The figure
+    keeps its historical RNG derivation — [Sim.Rng.create seed] — so
+    pooled regeneration is bit-identical to the serial tables already
+    published in EXPERIMENTS.md. *)
+val job : ?seed:int -> spec -> Runner.result Pool.job
+
+(** [run_all ~domains specs] runs the specs through {!Pool.map} and
+    pairs each with its result, in submission order. *)
+val run_all :
+  ?domains:int -> ?seed:int -> spec list -> (spec * Runner.result) list
+
 type flow_row = {
   flow : int;
   weight : float;

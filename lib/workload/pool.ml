@@ -1,0 +1,85 @@
+(* The one module allowed to spawn domains (lint rule L1). Determinism
+   does not come from the scheduler — job placement is racy by design —
+   but from every job being closed over its own engine and RNG stream,
+   so the payload array is the same whatever the interleaving. *)
+
+type 'a job = { id : string; run : unit -> 'a }
+
+let job ~id run = { id; run }
+
+let default_domains () = Domain.recommended_domain_count ()
+
+type 'a outcome = Value of 'a | Raised of exn * Printexc.raw_backtrace
+
+let run_serial jobs = List.map (fun j -> j.run ()) jobs
+
+let map ?domains jobs =
+  let n = List.length jobs in
+  let requested = match domains with Some d -> d | None -> default_domains () in
+  let workers = Stdlib.min requested n in
+  if workers <= 1 then run_serial jobs
+  else begin
+    let jobs = Array.of_list jobs in
+    let results = Array.make n None in
+    (* Work stealing off one shared sequence: the atomic cursor is the
+       deque head and every idle worker (the coordinator included)
+       claims the next pending job. Claimed indices are distinct, so
+       each result slot has exactly one writer; Domain.join publishes
+       the writes to the coordinator. *)
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          let outcome =
+            try Value (jobs.(i).run ())
+            with e -> Raised (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some outcome;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list results
+    |> List.mapi (fun i r ->
+           match r with
+           | Some (Value v) -> v
+           | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+           | None ->
+             (* Unreachable: the cursor hands out every index and workers
+                store an outcome before moving on. *)
+             invalid_arg
+               (Printf.sprintf "Pool.map: job %d (%s) produced no result" i
+                  jobs.(i).id))
+  end
+
+type 'a scenario = {
+  label : string;
+  scenario : engine:Sim.Engine.t -> rng:Sim.Rng.t -> 'a;
+}
+
+let run_scenarios ?domains ~seed scenarios =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem seen s.label then
+        invalid_arg
+          ("Pool.run_scenarios: duplicate scenario label " ^ s.label
+         ^ " (labels derive RNG streams and must be unique)");
+      Hashtbl.replace seen s.label ())
+    scenarios;
+  (* One engine per worker, reset between jobs. The domain-local key
+     gives the spawned workers (and the coordinator) their own engine
+     without threading state through [map]'s job type. *)
+  let engine_key = Domain.DLS.new_key (fun () -> Sim.Engine.create ()) in
+  let to_job s =
+    job ~id:s.label (fun () ->
+        let engine = Domain.DLS.get engine_key in
+        Sim.Engine.reset engine;
+        s.scenario ~engine ~rng:(Sim.Rng.scenario ~seed ~id:s.label))
+  in
+  map ?domains (List.map to_job scenarios)

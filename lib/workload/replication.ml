@@ -25,15 +25,21 @@ type figure_stats = {
   convergence : stats;
 }
 
-let replicate_figure ~seeds (spec : Figures.spec) =
-  (* One run per seed, three metrics each: run once and memoize. *)
-  let summaries =
+let replicate_figure ?domains ~seeds (spec : Figures.spec) =
+  (* One run per seed, three metrics each: run once and memoize. The
+     per-seed runs are independent, so they shard across the pool; the
+     job closure is byte-identical to the serial path. *)
+  let jobs =
     List.map
       (fun seed ->
-        let result = Figures.run ~seed spec in
-        (seed, Figures.summarize spec result))
+        Pool.job
+          ~id:(Printf.sprintf "%s/seed=%d" spec.Figures.id seed)
+          (fun () ->
+            let result = Figures.run ~seed spec in
+            Figures.summarize spec result))
       seeds
   in
+  let summaries = List.combine seeds (Pool.map ?domains jobs) in
   let metric f = replicate ~seeds (fun seed -> f (List.assoc seed summaries)) in
   {
     jain =

@@ -26,6 +26,9 @@ type figure_stats = {
   convergence : stats;
 }
 
-val replicate_figure : seeds:int list -> Figures.spec -> figure_stats
+(** [domains] shards the per-seed runs across the pool (default: the
+    pool's own default). Each seed's run is byte-identical either
+    way — statistics do not depend on the worker count. *)
+val replicate_figure : ?domains:int -> seeds:int list -> Figures.spec -> figure_stats
 
 val pp_stats : Format.formatter -> stats -> unit

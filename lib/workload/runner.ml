@@ -102,11 +102,11 @@ let csfq_driver ?attach_cores params ~rng ~network ~floors =
           (Csfq.Deployment.cores d));
   }
 
-let run ~scheme ~network ?(seed = 42) ?(sample_period = 1.) ?(floors = [])
+let run ~scheme ~network ?(seed = 42) ?rng ?(sample_period = 1.) ?(floors = [])
     ?(bursty = []) ?(burst_distribution = Net.Onoff.Exponential) ~schedule ~duration
     () =
   let engine = network.Network.engine in
-  let rng = Sim.Rng.create seed in
+  let rng = match rng with Some r -> r | None -> Sim.Rng.create seed in
   let driver =
     match scheme with
     | Corelite params -> corelite_driver params ~rng ~network ~floors

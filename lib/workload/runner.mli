@@ -44,11 +44,14 @@ type result = {
     flows; [bursty] makes the listed flows application-limited with
     exponential on/off periods [(flow, on_mean, off_mean)] (both
     extensions). Sampling defaults to once per simulated second.
-    Deterministic for a fixed [seed]. *)
+    Deterministic for a fixed [seed]; [rng] overrides the root
+    generator entirely (pool scenarios pass their
+    [Sim.Rng.scenario]-derived stream here, leaving [seed] unused). *)
 val run :
   scheme:scheme ->
   network:Network.t ->
   ?seed:int ->
+  ?rng:Sim.Rng.t ->
   ?sample_period:float ->
   ?floors:(int * float) list ->
   ?bursty:(int * float * float) list ->

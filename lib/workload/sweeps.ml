@@ -58,39 +58,49 @@ let run_point ?seed ?delay ~label params =
 
 let base = Corelite.Params.default
 
+(* Every sweep point is a closed pool job: the whole grid is one flat
+   job list that workers steal from, so a slow point never serializes a
+   group behind it. The serial API below forces the same jobs in order,
+   producing byte-identical output. *)
+
+let point_job ?delay ~label params =
+  Pool.job ~id:label (fun () -> run_point ?delay ~label params)
+
 let sweep name values apply =
   List.map
-    (fun v -> run_point ~label:(Printf.sprintf "%s=%g" name v) (apply base v))
+    (fun v ->
+      let label = Printf.sprintf "%s=%g" name v in
+      point_job ~label (apply base v))
     values
 
-let core_epoch () =
+let core_epoch_jobs () =
   sweep "core_epoch" [ 0.025; 0.05; 0.1; 0.2; 0.4 ] (fun p v ->
       { p with Corelite.Params.core_epoch = v })
 
-let qthresh () =
+let qthresh_jobs () =
   sweep "qthresh" [ 2.; 4.; 8.; 16.; 24. ] (fun p v ->
       { p with Corelite.Params.qthresh = v })
 
-let k1 () =
+let k1_jobs () =
   sweep "k1" [ 0.5; 1.; 2.; 4. ] (fun p v -> { p with Corelite.Params.k1 = v })
 
-let latency () =
+let latency_jobs () =
   List.map
     (fun d ->
-      run_point ~delay:d ~label:(Printf.sprintf "latency=%gms" (1000. *. d)) base)
+      point_job ~delay:d ~label:(Printf.sprintf "latency=%gms" (1000. *. d)) base)
     [ 0.002; 0.01; 0.04; 0.08 ]
 
-let k_correction () =
+let k_correction_jobs () =
   sweep "k" [ 0.; 0.001; 0.005; 0.02; 0.1 ] (fun p v ->
       { p with Corelite.Params.estimator = Corelite.Congestion.Mm1_cubic v })
 
-let estimator () =
+let estimator_jobs () =
   [
-    run_point ~label:"est=mm1_cubic"
+    point_job ~label:"est=mm1_cubic"
       { base with Corelite.Params.estimator = Corelite.Congestion.Mm1_cubic 0.005 };
-    run_point ~label:"est=linear"
+    point_job ~label:"est=linear"
       { base with Corelite.Params.estimator = Corelite.Congestion.Linear_excess 0.5 };
-    run_point ~label:"est=ewma"
+    point_job ~label:"est=ewma"
       {
         base with
         Corelite.Params.estimator =
@@ -98,10 +108,10 @@ let estimator () =
       };
   ]
 
-let cache_size () =
+let cache_size_jobs () =
   List.map
     (fun n ->
-      run_point
+      point_job
         ~label:(Printf.sprintf "cache=%d" n)
         {
           base with
@@ -110,34 +120,34 @@ let cache_size () =
         })
     [ 16; 64; 256; 512; 2048 ]
 
-let selector () =
+let selector_jobs () =
   [
-    run_point ~label:"selector=cache"
+    point_job ~label:"selector=cache"
       { base with Corelite.Params.selector = Corelite.Params.Cache };
-    run_point ~label:"selector=stateless"
+    point_job ~label:"selector=stateless"
       { base with Corelite.Params.selector = Corelite.Params.Stateless };
   ]
 
-let rav_gain () =
+let rav_gain_jobs () =
   sweep "rav_gain" [ 0.005; 0.02; 0.1; 0.5 ] (fun p v ->
       { p with Corelite.Params.rav_gain = v })
 
-let wav_gain () =
+let wav_gain_jobs () =
   sweep "wav_gain" [ 0.05; 0.25; 0.5; 1.0 ] (fun p v ->
       { p with Corelite.Params.wav_gain = v })
 
-let pw_cap () =
+let pw_cap_jobs () =
   sweep "pw_cap" [ 0.5; 1.; 2.; 4. ] (fun p v ->
       { p with Corelite.Params.pw_cap = v })
 
-let edge_epoch () =
+let edge_epoch_jobs () =
   sweep "edge_epoch" [ 0.1; 0.25; 0.5; 1.0 ] (fun p v ->
       {
         p with
         Corelite.Params.source = { p.Corelite.Params.source with Net.Source.epoch = v };
       })
 
-let burst () =
+let burst_jobs () =
   (* Flows 1-5 turn application-limited (exponential on/off, mean 2 s
      each way); flows 6-10 stay backlogged. Fairness should survive for
      the backlogged flows under both selectors — the paper's
@@ -148,20 +158,24 @@ let burst () =
      absorb the bursty flows' slack) is expected — fairness among them
      is the claim under test. *)
   let measure_flows = [ 6; 7; 8; 9; 10 ] in
+  let wjob ?bursty ?burst_distribution ~label scheme =
+    Pool.job ~id:label (fun () ->
+        run_workload ?bursty ?burst_distribution ~measure_flows ~label scheme)
+  in
   [
-    run_workload ~measure_flows ~label:"steady+stateless" (Runner.Corelite base);
-    run_workload ~bursty ~measure_flows ~label:"burst+stateless" (Runner.Corelite base);
-    run_workload ~bursty ~measure_flows ~label:"burst+cache"
+    wjob ~label:"steady+stateless" (Runner.Corelite base);
+    wjob ~bursty ~label:"burst+stateless" (Runner.Corelite base);
+    wjob ~bursty ~label:"burst+cache"
       (Runner.Corelite { base with Corelite.Params.selector = Corelite.Params.Cache });
-    run_workload ~bursty ~measure_flows ~label:"burst+csfq" (Runner.Csfq Csfq.Params.default);
+    wjob ~bursty ~label:"burst+csfq" (Runner.Csfq Csfq.Params.default);
     (* Heavy-tailed (Pareto 1.5) burst lengths: long-range dependence
        stresses the history-based feedback far more than Markovian
        bursts. *)
-    run_workload ~bursty ~burst_distribution:(Net.Onoff.Pareto 1.5) ~measure_flows
+    wjob ~bursty ~burst_distribution:(Net.Onoff.Pareto 1.5)
       ~label:"pareto+stateless" (Runner.Corelite base);
   ]
 
-let qdisc () =
+let qdisc_jobs () =
   let red_params = { Net.Qdisc.default_red_params with Net.Qdisc.capacity = 40 } in
   let mk_red engine () =
     Net.Qdisc.red ~params:red_params ~rng:(Sim.Rng.create 97)
@@ -173,41 +187,97 @@ let qdisc () =
       ~now:(fun () -> Sim.Engine.now engine)
       ()
   in
+  let wjob ?core_qdisc ~label scheme =
+    Pool.job ~id:label (fun () -> run_workload ?core_qdisc ~label scheme)
+  in
   [
-    run_workload ~label:"corelite+droptail" (Runner.Corelite base);
-    run_workload ~label:"csfq+droptail" (Runner.Csfq Csfq.Params.default);
-    run_workload ~label:"plain+droptail" (Runner.Plain Csfq.Params.default);
-    run_workload ~label:"plain+red"
+    wjob ~label:"corelite+droptail" (Runner.Corelite base);
+    wjob ~label:"csfq+droptail" (Runner.Csfq Csfq.Params.default);
+    wjob ~label:"plain+droptail" (Runner.Plain Csfq.Params.default);
+    wjob ~label:"plain+red"
       ~core_qdisc:(fun engine -> mk_red engine)
       (Runner.Plain Csfq.Params.default);
-    run_workload ~label:"plain+fred"
+    wjob ~label:"plain+fred"
       ~core_qdisc:(fun engine -> mk_fred engine)
       (Runner.Plain Csfq.Params.default);
     (* The stateful ideal: per-flow DRR scheduling with the flows'
        weights as quanta — what Corelite approximates statelessly. *)
-    run_workload ~label:"plain+drr"
+    wjob ~label:"plain+drr"
       ~core_qdisc:(fun _engine () ->
         Net.Qdisc.drr ~weight:(fun flow -> Figures.weights_s42 flow) ~capacity:20 ())
       (Runner.Plain Csfq.Params.default);
   ]
 
-let all () =
+let jobs () =
   [
-    ("core epoch (s)", core_epoch ());
-    ("congestion threshold (pkts)", qthresh ());
-    ("marker spacing K1", k1 ());
-    ("link latency", latency ());
-    ("cubic coefficient k", k_correction ());
-    ("congestion estimator", estimator ());
-    ("marker cache size", cache_size ());
-    ("selector variant", selector ());
-    ("stateless pw cap", pw_cap ());
-    ("rav EWMA gain", rav_gain ());
-    ("wav EWMA gain", wav_gain ());
-    ("edge adaptation epoch (s)", edge_epoch ());
-    ("queue discipline / scheme (Section 5)", qdisc ());
-    ("bursty sources (Section 2 claim)", burst ());
+    ("core epoch (s)", core_epoch_jobs ());
+    ("congestion threshold (pkts)", qthresh_jobs ());
+    ("marker spacing K1", k1_jobs ());
+    ("link latency", latency_jobs ());
+    ("cubic coefficient k", k_correction_jobs ());
+    ("congestion estimator", estimator_jobs ());
+    ("marker cache size", cache_size_jobs ());
+    ("selector variant", selector_jobs ());
+    ("stateless pw cap", pw_cap_jobs ());
+    ("rav EWMA gain", rav_gain_jobs ());
+    ("wav EWMA gain", wav_gain_jobs ());
+    ("edge adaptation epoch (s)", edge_epoch_jobs ());
+    ("queue discipline / scheme (Section 5)", qdisc_jobs ());
+    ("bursty sources (Section 2 claim)", burst_jobs ());
   ]
+
+let force js = List.map (fun j -> j.Pool.run ()) js
+
+let core_epoch () = force (core_epoch_jobs ())
+
+let qthresh () = force (qthresh_jobs ())
+
+let k1 () = force (k1_jobs ())
+
+let latency () = force (latency_jobs ())
+
+let k_correction () = force (k_correction_jobs ())
+
+let estimator () = force (estimator_jobs ())
+
+let cache_size () = force (cache_size_jobs ())
+
+let selector () = force (selector_jobs ())
+
+let rav_gain () = force (rav_gain_jobs ())
+
+let wav_gain () = force (wav_gain_jobs ())
+
+let pw_cap () = force (pw_cap_jobs ())
+
+let edge_epoch () = force (edge_epoch_jobs ())
+
+let burst () = force (burst_jobs ())
+
+let qdisc () = force (qdisc_jobs ())
+
+let all () = List.map (fun (name, js) -> (name, force js)) (jobs ())
+
+let all_parallel ?domains () =
+  (* Flatten the whole grid into one batch so workers steal across
+     group boundaries, then re-chunk the in-order results. *)
+  let groups = jobs () in
+  let flat = List.concat_map snd groups in
+  let results = ref (Pool.map ?domains flat) in
+  List.map
+    (fun (name, js) ->
+      let k = List.length js in
+      let rec take n acc rest =
+        if n = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | [] -> invalid_arg "Sweeps.all_parallel: result count mismatch"
+          | r :: rest -> take (n - 1) (r :: acc) rest
+      in
+      let points, rest = take k [] !results in
+      results := rest;
+      (name, points))
+    groups
 
 let pp_points ppf (name, points) =
   Format.fprintf ppf "@[<v>-- sensitivity: %s@," name;

@@ -10,8 +10,10 @@
     unresponsive stress sources; {!Tcp_workload} TCP micro-flows in
     shaped aggregates; {!Tcp_direct} raw TCP over each core discipline;
     {!Multi_cloud} inter-domain chaining;
-    {!Scenario_file} a small text DSL; {!Csv} series export. *)
+    {!Scenario_file} a small text DSL; {!Csv} series export;
+    {!Pool} the parallel deterministic scenario executor. *)
 
+module Pool = Pool
 module Network = Network
 module Runner = Runner
 module Figures = Figures

@@ -80,6 +80,25 @@ let test_l1_allows_rng_module () =
   let vs = lint_one "lib/sim/rng.ml" "let draw () = Random.int 5\n" in
   check_rules "allowlisted" [] vs
 
+let test_l1_flags_domain_outside_pool () =
+  (* The Domain ban is not lib-scoped: an executable sharding work by
+     hand would be just as nondeterministic. *)
+  let vs =
+    lint_one "bin/run.ml"
+      "let go f = Domain.spawn f\nlet n () = Domain.recommended_domain_count ()\n"
+  in
+  check_rules "Domain banned outside the pool"
+    [ Lint.L1_determinism; Lint.L1_determinism ]
+    vs
+
+let test_l1_allows_domain_in_pool () =
+  (* lib/workload/pool.ml is the one sanctioned owner of parallelism. *)
+  let vs =
+    lint_one "lib/workload/pool.ml"
+      "let n () = Domain.recommended_domain_count ()\nlet go f = Domain.spawn f\n"
+  in
+  check_rules "pool allowlisted" [] vs
+
 let test_l1_waiver_comment () =
   let vs =
     lint_one "lib/foo.ml"
@@ -118,6 +137,19 @@ let test_l3_flags_printing_in_lib () =
 let test_l3_allows_printing_in_bin () =
   let vs = lint_one "bin/main.ml" "let hello () = print_endline \"hi\"\n" in
   check_rules "executables may print" [] vs
+
+let test_l3_flags_stdout_in_lib () =
+  (* Pool jobs must return payloads; grabbing the channels directly in
+     lib/ is how output ends up interleaved across workers. *)
+  let vs =
+    lint_one "lib/foo.ml"
+      "let dump s = output_string stdout s\nlet warn s = output_string stderr s\n"
+  in
+  check_rules "raw channels in a library" [ Lint.L3_logging; Lint.L3_logging ] vs
+
+let test_l3_allows_stdout_in_bin () =
+  let vs = lint_one "bin/main.ml" "let dump s = output_string stdout s\n" in
+  check_rules "executables may use the channels" [] vs
 
 (* ------------------------------------------------------------------ *)
 (* L4: interface coverage *)
@@ -243,6 +275,10 @@ let () =
           Alcotest.test_case "flags clock + random hashtbl" `Quick
             test_l1_flags_wall_clock_and_random_hashtbl;
           Alcotest.test_case "allows lib/sim/rng.ml" `Quick test_l1_allows_rng_module;
+          Alcotest.test_case "flags Domain outside pool" `Quick
+            test_l1_flags_domain_outside_pool;
+          Alcotest.test_case "allows Domain in pool" `Quick
+            test_l1_allows_domain_in_pool;
           Alcotest.test_case "waiver comment" `Quick test_l1_waiver_comment;
         ] );
       ( "l2_float_equality",
@@ -258,6 +294,10 @@ let () =
           Alcotest.test_case "flags printing in lib" `Quick test_l3_flags_printing_in_lib;
           Alcotest.test_case "allows printing in bin" `Quick
             test_l3_allows_printing_in_bin;
+          Alcotest.test_case "flags stdout/stderr in lib" `Quick
+            test_l3_flags_stdout_in_lib;
+          Alcotest.test_case "allows stdout in bin" `Quick
+            test_l3_allows_stdout_in_bin;
         ] );
       ( "l4_mli_coverage",
         [

@@ -88,6 +88,73 @@ let prop_queue_preserves_multiset =
       in
       List.sort compare (drain []) = List.sort compare keys)
 
+let test_queue_clear_resets_and_reuses () =
+  let q = Sim.Event_queue.create () in
+  for i = 1 to 10 do
+    Sim.Event_queue.add q ~key:1. ~seq:i i
+  done;
+  Sim.Event_queue.clear q;
+  Alcotest.(check bool) "empty" true (Sim.Event_queue.is_empty q);
+  Alcotest.(check int) "length" 0 (Sim.Event_queue.length q);
+  Alcotest.(check bool) "pop none" true (Sim.Event_queue.pop q = None);
+  (* A cleared queue must be a working queue. *)
+  Sim.Event_queue.add q ~key:2. ~seq:1 42;
+  Alcotest.(check bool) "usable after clear" true
+    (Sim.Event_queue.pop q = Some (2., 1, 42))
+
+(* The (key, seq)-sorted model list is the whole specification of the
+   queue: pops come out exactly in that order. Small integer keys force
+   plenty of ties, so the FIFO-among-equals leg is really exercised. *)
+let by_key_seq (k1, s1) (k2, s2) =
+  match compare k1 k2 with 0 -> compare s1 s2 | c -> c
+
+let prop_queue_matches_sorted_model =
+  QCheck.Test.make ~name:"event_queue pops exactly the (key, seq)-sorted model"
+    ~count:300
+    QCheck.(list (int_bound 20))
+    (fun raw ->
+      let entries = List.mapi (fun i k -> (float_of_int k, i)) raw in
+      let q = Sim.Event_queue.create () in
+      List.iter (fun (k, s) -> Sim.Event_queue.add q ~key:k ~seq:s s) entries;
+      let rec drain acc =
+        match Sim.Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (k, s, _) -> drain ((k, s) :: acc)
+      in
+      drain [] = List.sort by_key_seq entries)
+
+let prop_queue_length_tracks_model =
+  QCheck.Test.make
+    ~name:"length/is_empty agree with a model list under interleaved add/pop"
+    ~count:300
+    QCheck.(list (option (int_bound 10)))
+    (fun ops ->
+      let q = Sim.Event_queue.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          (match op with
+          | Some k ->
+            incr seq;
+            let key = float_of_int k in
+            Sim.Event_queue.add q ~key ~seq:!seq ();
+            model := (key, !seq) :: !model
+          | None -> (
+            let expected =
+              match List.sort by_key_seq !model with [] -> None | e :: _ -> Some e
+            in
+            match (Sim.Event_queue.pop q, expected) with
+            | None, None -> ()
+            | Some (k, s, ()), Some e when (k, s) = e ->
+              model := List.filter (fun x -> x <> e) !model
+            | _ -> ok := false));
+          if Sim.Event_queue.length q <> List.length !model then ok := false;
+          if Sim.Event_queue.is_empty q <> (!model = []) then ok := false)
+        ops;
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 (* Engine *)
 
@@ -196,6 +263,48 @@ let test_engine_simultaneous_fifo () =
   Sim.Engine.run e;
   Alcotest.(check (list int)) "fifo among equals" [ 1; 2; 3; 4 ] (List.rev !log)
 
+(* A probe whose observable trace is sensitive to everything reset must
+   restore: the clock, the FIFO tie-break sequence, and the queue. *)
+let engine_probe e =
+  let log = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (Sim.Engine.schedule e ~delay:1. (fun () ->
+           log := (i, Sim.Engine.now e) :: !log))
+  done;
+  ignore
+    (Sim.Engine.schedule e ~delay:0.5 (fun () ->
+         log := (0, Sim.Engine.now e) :: !log));
+  Sim.Engine.run e;
+  List.rev !log
+
+let test_engine_reset_matches_fresh () =
+  let reused = Sim.Engine.create () in
+  let first = engine_probe reused in
+  Sim.Engine.reset reused;
+  check_float "clock back to zero" 0. (Sim.Engine.now reused);
+  Alcotest.(check int) "no pending events" 0 (Sim.Engine.pending reused);
+  Alcotest.(check int) "executed counter cleared" 0 (Sim.Engine.executed reused);
+  Alcotest.(check int) "seq counter cleared" 0 (Sim.Engine.events_scheduled reused);
+  let second = engine_probe reused in
+  let fresh = engine_probe (Sim.Engine.create ()) in
+  Alcotest.(check (list (pair int (float 1e-9)))) "first run vs fresh" fresh first;
+  (* The regression this guards: a stale seq counter would not change
+     the set of events, only their FIFO order among ties — so the reused
+     engine must replay the tie-break order exactly. *)
+  Alcotest.(check (list (pair int (float 1e-9)))) "reused run vs fresh" fresh second;
+  Alcotest.(check int) "executed counts events of one run" 4
+    (Sim.Engine.executed reused)
+
+let test_engine_reset_clears_queue () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  ignore (Sim.Engine.schedule e ~delay:5. (fun () -> fired := true));
+  Sim.Engine.reset e;
+  Sim.Engine.run e;
+  Alcotest.(check bool) "stale event dropped by reset" false !fired;
+  check_float "nothing ran" 0. (Sim.Engine.now e)
+
 (* ------------------------------------------------------------------ *)
 (* Rng *)
 
@@ -226,6 +335,65 @@ let test_rng_split_independent () =
     Alcotest.(check int64) "parent unaffected" (Sim.Rng.bits64 parent2)
       (Sim.Rng.bits64 parent)
   done
+
+let draws rng n = List.init n (fun _ -> Sim.Rng.bits64 rng)
+
+let test_rng_stream_is_pure () =
+  (* Deriving a stream must not advance the parent, and the derivation
+     must depend only on (parent state, index) — not on which other
+     streams were derived or drawn from in between. *)
+  let r = Sim.Rng.create 5 in
+  let before = Sim.Rng.stream r 3 in
+  ignore (draws (Sim.Rng.stream r 1) 8);
+  ignore (Sim.Rng.stream r 7);
+  let after = Sim.Rng.stream r 3 in
+  Alcotest.(check (list int64)) "order-independent derivation"
+    (draws before 32) (draws after 32);
+  let untouched = Sim.Rng.create 5 in
+  Alcotest.(check int64) "parent unaffected" (Sim.Rng.bits64 untouched)
+    (Sim.Rng.bits64 r)
+
+let prop_rng_scenario_replays =
+  QCheck.Test.make
+    ~name:"the same (seed, scenario id) replays the same 1k-draw stream"
+    ~count:50
+    QCheck.(pair small_nat small_printable_string)
+    (fun (seed, id) ->
+      draws (Sim.Rng.scenario ~seed ~id) 1000
+      = draws (Sim.Rng.scenario ~seed ~id) 1000)
+
+let prop_rng_scenario_streams_disjoint =
+  QCheck.Test.make
+    ~name:"distinct (seed, scenario id) streams share no draw in 1k"
+    ~count:100
+    QCheck.(
+      pair
+        (pair small_nat small_printable_string)
+        (pair small_nat small_printable_string))
+    (fun (((seed_a, id_a) as a), ((seed_b, id_b) as b)) ->
+      QCheck.assume (a <> b);
+      let da = draws (Sim.Rng.scenario ~seed:seed_a ~id:id_a) 1000 in
+      let db = draws (Sim.Rng.scenario ~seed:seed_b ~id:id_b) 1000 in
+      (* Element-wise disjointness over the whole prefix — much stronger
+         than mere inequality; a lattice structure between streams (the
+         classic splitmix pitfall) would show up here. *)
+      let seen = Hashtbl.create 2048 in
+      List.iter (fun x -> Hashtbl.replace seen x ()) da;
+      not (List.exists (Hashtbl.mem seen) db))
+
+let prop_rng_sibling_streams_disjoint =
+  QCheck.Test.make
+    ~name:"sibling indexed streams of one parent share no draw in 1k"
+    ~count:50
+    QCheck.(triple small_nat (int_bound 100) (int_bound 100))
+    (fun (seed, i, j) ->
+      QCheck.assume (i <> j);
+      let r = Sim.Rng.create seed in
+      let da = draws (Sim.Rng.stream r i) 1000 in
+      let db = draws (Sim.Rng.stream r j) 1000 in
+      let seen = Hashtbl.create 2048 in
+      List.iter (fun x -> Hashtbl.replace seen x ()) da;
+      not (List.exists (Hashtbl.mem seen) db))
 
 let test_rng_int_bounds () =
   let r = Sim.Rng.create 99 in
@@ -543,8 +711,12 @@ let () =
           Alcotest.test_case "fifo on ties" `Quick test_queue_fifo_on_ties;
           Alcotest.test_case "peek matches pop" `Quick test_queue_peek_matches_pop;
           Alcotest.test_case "interleaved grow" `Quick test_queue_interleaved_grow;
+          Alcotest.test_case "clear resets and reuses" `Quick
+            test_queue_clear_resets_and_reuses;
           qt prop_queue_sorted;
           qt prop_queue_preserves_multiset;
+          qt prop_queue_matches_sorted_model;
+          qt prop_queue_length_tracks_model;
         ] );
       ( "engine",
         [
@@ -558,12 +730,20 @@ let () =
           Alcotest.test_case "rejects bad times" `Quick test_engine_rejects_bad_times;
           Alcotest.test_case "pending" `Quick test_engine_pending;
           Alcotest.test_case "simultaneous fifo" `Quick test_engine_simultaneous_fifo;
+          Alcotest.test_case "reset matches fresh engine" `Quick
+            test_engine_reset_matches_fresh;
+          Alcotest.test_case "reset clears pending events" `Quick
+            test_engine_reset_clears_queue;
         ] );
       ( "rng",
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
           Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "stream derivation is pure" `Quick test_rng_stream_is_pure;
+          qt prop_rng_scenario_replays;
+          qt prop_rng_scenario_streams_disjoint;
+          qt prop_rng_sibling_streams_disjoint;
           Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
           Alcotest.test_case "int covers range" `Quick test_rng_int_covers_range;
           Alcotest.test_case "float uniform" `Quick test_rng_float_unit;

@@ -51,6 +51,12 @@ let l1_allowlisted path =
   String.ends_with ~suffix:"lib/sim/rng.ml" path
   || String.ends_with ~suffix:"lib/sim/rng.mli" path
 
+(* The one place allowed to spawn domains: everything else must submit
+   jobs through Workload.Pool so sharding stays deterministic. *)
+let pool_allowlisted path =
+  String.ends_with ~suffix:"lib/workload/pool.ml" path
+  || String.ends_with ~suffix:"lib/workload/pool.mli" path
+
 (* ------------------------------------------------------------------ *)
 (* Rule predicates over flattened identifier paths *)
 
@@ -63,6 +69,15 @@ let l1_banned_ident = function
     Some "Sys.time is banned; simulation time comes from Sim.Engine.now"
   | _ -> None
 
+(* Scheduling nondeterminism: outside Workload.Pool, nothing may spawn
+   domains or threads — results must not depend on worker interleaving. *)
+let l1_parallel_ident = function
+  | "Domain" :: _ | "Stdlib" :: "Domain" :: _ | "Thread" :: _ ->
+    Some
+      "Domain/Thread use is confined to Workload.Pool; submit jobs through \
+       the pool so parallel runs stay bit-identical to serial"
+  | _ -> None
+
 let l3_banned_ident path =
   let bare = function
     | "print_endline" | "print_string" | "print_newline" | "print_char"
@@ -72,6 +87,12 @@ let l3_banned_ident path =
     | _ -> false
   in
   match path with
+  | [ (("stdout" | "stderr") as f) ] | [ "Stdlib"; (("stdout" | "stderr") as f) ]
+    ->
+    Some
+      (f
+     ^ " is banned in lib/; return the payload and let the caller print, or \
+        log through Logs")
   | [ f ] | [ "Stdlib"; f ] ->
     if bare f then Some (f ^ " is banned in lib/; log through Logs") else None
   | [ "Printf"; (("printf" | "eprintf") as f) ]
@@ -148,6 +169,7 @@ type ctx = {
   file : string;
   lib_scope : bool;
   rng_allowlisted : bool;
+  pool_allowlisted : bool;
   mutable found : violation list;
 }
 
@@ -166,6 +188,10 @@ let add ctx rule (loc : Location.t) message =
 let check_ident ctx (loc : Location.t) path =
   (if not ctx.rng_allowlisted then
      match l1_banned_ident path with
+     | Some msg -> add ctx L1_determinism loc msg
+     | None -> ());
+  (if not ctx.pool_allowlisted then
+     match l1_parallel_ident path with
      | Some msg -> add ctx L1_determinism loc msg
      | None -> ());
   if ctx.lib_scope then begin
@@ -215,11 +241,16 @@ let iterator ctx =
   in
   let module_expr it (m : Parsetree.module_expr) =
     (match m.pmod_desc with
-    | Pmod_ident { txt; loc } -> (
-      if not ctx.rng_allowlisted then
-        match l1_banned_ident (Longident.flatten txt) with
-        | Some msg -> add ctx L1_determinism loc msg
-        | None -> ())
+    | Pmod_ident { txt; loc } ->
+      let path = Longident.flatten txt in
+      (if not ctx.rng_allowlisted then
+         match l1_banned_ident path with
+         | Some msg -> add ctx L1_determinism loc msg
+         | None -> ());
+      (if not ctx.pool_allowlisted then
+         match l1_parallel_ident path with
+         | Some msg -> add ctx L1_determinism loc msg
+         | None -> ())
     | _ -> ());
     default_iterator.module_expr it m
   in
@@ -278,6 +309,7 @@ let lint_file path =
         file = path;
         lib_scope = in_lib path;
         rng_allowlisted = l1_allowlisted path;
+        pool_allowlisted = pool_allowlisted path;
         found = [];
       }
     in

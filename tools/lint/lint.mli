@@ -8,15 +8,21 @@
     - {b L1 determinism}: [Stdlib.Random], [Unix.gettimeofday],
       [Unix.time], [Sys.time] and [Hashtbl.create ~random:true] are
       banned everywhere except [lib/sim/rng.ml]; all stochastic
-      behaviour must flow through [Sim.Rng].
+      behaviour must flow through [Sim.Rng]. Likewise [Domain] and
+      [Thread] are banned everywhere except [lib/workload/pool.ml]:
+      parallelism goes through [Workload.Pool], whose job results are
+      bit-identical to serial execution by construction, so no other
+      module may introduce scheduling nondeterminism.
     - {b L2 float equality}: [=], [<>], [==], [!=] and polymorphic
       [compare] applied to a syntactically float-typed operand (float
       literal, float arithmetic, [float_of_int], a [: float]
       constraint) are flagged; use a tolerance helper such as
       [Sim.Floats.near] or waive the line explicitly.
     - {b L3 logging hygiene}: direct printing ([print_endline],
-      [Printf.printf], [Format.printf], ...) is banned inside [lib/];
-      libraries must log through [Logs].
+      [Printf.printf], [Format.printf], ...) and the bare [stdout] /
+      [stderr] channels are banned inside [lib/]; libraries must
+      return payloads (or log through [Logs]) and leave the terminal
+      and filesystem to the coordinating executable.
     - {b L4 interface coverage}: every [.ml] under [lib/] must have a
       matching [.mli].
     - {b L5 unsafe escape hatches}: [Obj.magic] (in any position) and
