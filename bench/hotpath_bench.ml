@@ -1,0 +1,193 @@
+(* Hot-path microbenchmark: per-run throughput and GC pressure.
+
+   Replays the figure workloads (and a sweep slice) serially and
+   reports, per run: wall time, executed events, simulated packets
+   (sum of link arrivals over the whole topology), and the minor/
+   promoted heap words allocated — the metric the zero-allocation
+   hot path is judged by, because allocation counts are deterministic
+   where wall-clock is not (CI runs on noisy shared machines).
+
+   results/BENCH_hotpath.json is the committed artefact; pass
+   [--baseline PATH] to embed a previous report (the "before" numbers)
+   so a single file carries the comparison, and [--budget N] to exit
+   non-zero when any figure run allocates more than N minor words per
+   simulated packet — the deterministic regression gate CI uses.
+
+   Wall-clock timing is the point of this harness, hence the explicit
+   waiver on the L1 wall-clock ban below. *)
+
+let now () = Unix.gettimeofday () (* lint: determinism-ok *)
+
+let quick = ref false
+
+let out_path = ref (Filename.concat "results" "BENCH_hotpath.json")
+
+let baseline_path = ref ""
+
+let budget = ref infinity
+
+type obs = {
+  id : string;
+  wall_s : float;
+  events : int;
+  packets : int;
+  minor_words : float;
+  promoted_words : float;
+}
+
+(* Every packet arrival at every link, access links included: the
+   per-hop hot path is what we are counting allocations against. *)
+let packets_of (result : Workload.Runner.result) =
+  List.fold_left
+    (fun acc l -> acc + l.Net.Link.arrivals)
+    0
+    (Net.Topology.links
+       result.Workload.Runner.network.Workload.Network.topology)
+
+let measure ~id f =
+  Gc.full_major ();
+  let s0 = Gc.quick_stat () in
+  let t0 = now () in
+  let events, packets = f () in
+  let wall_s = now () -. t0 in
+  let s1 = Gc.quick_stat () in
+  {
+    id;
+    wall_s;
+    events;
+    packets;
+    minor_words = s1.Gc.minor_words -. s0.Gc.minor_words;
+    promoted_words = s1.Gc.promoted_words -. s0.Gc.promoted_words;
+  }
+
+let run_figure (spec : Workload.Figures.spec) =
+  measure ~id:spec.Workload.Figures.id (fun () ->
+      let result = Workload.Figures.run spec in
+      ( Sim.Engine.executed
+          result.Workload.Runner.network.Workload.Network.engine,
+        packets_of result ))
+
+(* A sweep slice: one Figure-5-shaped run per parameter point, serial.
+   Sweeps do not expose their networks, so this observation reports
+   wall time and allocation only (packets = 0 means "not counted"). *)
+let run_sweep ~id points =
+  measure ~id (fun () ->
+      let pts = points () in
+      ignore (Sys.opaque_identity pts);
+      (0, 0))
+
+let figure_specs () =
+  if !quick then [ Workload.Figures.fig5 (); Workload.Figures.fig7 () ]
+  else Workload.Figures.all ()
+
+let sweep_specs () : (string * (unit -> Workload.Sweeps.point list)) list =
+  if !quick then
+    [
+      ( "sweep:k1=1",
+        fun () ->
+          [ Workload.Sweeps.run_point ~label:"k1=1" Corelite.Params.default ] );
+    ]
+  else
+    [
+      ("sweep:core_epoch", Workload.Sweeps.core_epoch);
+      ("sweep:qthresh", Workload.Sweeps.qthresh);
+    ]
+
+let words_per_packet o =
+  if o.packets = 0 then 0. else o.minor_words /. float_of_int o.packets
+
+(* ------------------------------------------------------------------ *)
+(* Hand-rolled JSON (no JSON dependency in the image). *)
+
+let obs_json o =
+  Printf.sprintf
+    "{\"id\": \"%s\", \"wall_s\": %.4f, \"events\": %d, \"packets\": %d, \
+     \"events_per_s\": %.0f, \"packets_per_s\": %.0f, \"minor_words\": %.0f, \
+     \"promoted_words\": %.0f, \"minor_words_per_packet\": %.2f}"
+    o.id o.wall_s o.events o.packets
+    (float_of_int o.events /. Float.max 1e-9 o.wall_s)
+    (float_of_int o.packets /. Float.max 1e-9 o.wall_s)
+    o.minor_words o.promoted_words (words_per_packet o)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  String.trim s
+
+let write_report ~figures ~sweeps ~worst =
+  let oc = open_out !out_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"harness\": \"bench/hotpath_bench.ml\",\n";
+  p "  \"mode\": \"%s\",\n" (if !quick then "quick" else "full");
+  p "  \"figures\": [\n";
+  List.iteri
+    (fun i o ->
+      p "    %s%s\n" (obs_json o)
+        (if i = List.length figures - 1 then "" else ","))
+    figures;
+  p "  ],\n";
+  p "  \"sweeps\": [\n";
+  List.iteri
+    (fun i o ->
+      p "    {\"id\": \"%s\", \"wall_s\": %.4f, \"minor_words\": %.0f, \
+         \"promoted_words\": %.0f}%s\n"
+        o.id o.wall_s o.minor_words o.promoted_words
+        (if i = List.length sweeps - 1 then "" else ","))
+    sweeps;
+  p "  ],\n";
+  p "  \"max_minor_words_per_packet\": %.2f,\n" worst;
+  (if Float.is_finite !budget then p "  \"budget\": %.2f,\n" !budget);
+  (match !baseline_path with
+  | "" -> p "  \"baseline\": null\n"
+  | path -> p "  \"baseline\": %s\n" (read_file path));
+  p "}\n";
+  close_out oc
+
+let () =
+  Arg.parse
+    [
+      ("--quick", Arg.Set quick, "  reduced workload set (CI smoke test)");
+      ( "--out",
+        Arg.Set_string out_path,
+        "PATH  report path (default results/BENCH_hotpath.json)" );
+      ( "--baseline",
+        Arg.Set_string baseline_path,
+        "PATH  embed a previous report as the \"baseline\" field" );
+      ( "--budget",
+        Arg.Set_float budget,
+        "N  fail if any figure allocates more than N minor words per packet"
+      );
+    ]
+    (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
+    "hotpath_bench.exe [--quick] [--out PATH] [--baseline PATH] [--budget N]";
+  let figures = List.map run_figure (figure_specs ()) in
+  let sweeps = List.map (fun (id, pts) -> run_sweep ~id pts) (sweep_specs ()) in
+  let worst =
+    List.fold_left (fun acc o -> Float.max acc (words_per_packet o)) 0. figures
+  in
+  write_report ~figures ~sweeps ~worst;
+  List.iter
+    (fun o ->
+      Printf.printf
+        "%-6s %7.3f s  %9d events  %9d packets  %10.0f ev/s  %6.1f \
+         minor words/pkt\n"
+        o.id o.wall_s o.events o.packets
+        (float_of_int o.events /. Float.max 1e-9 o.wall_s)
+        (words_per_packet o))
+    figures;
+  List.iter
+    (fun o ->
+      Printf.printf "%-16s %7.3f s  %12.0f minor words\n" o.id o.wall_s
+        o.minor_words)
+    sweeps;
+  Printf.printf "max minor words/packet: %.2f  report: %s\n" worst !out_path;
+  if worst > !budget then begin
+    Printf.eprintf
+      "hotpath_bench: ALLOCATION BUDGET EXCEEDED (%.2f > %.2f minor \
+       words/packet)\n"
+      worst !budget;
+    exit 1
+  end

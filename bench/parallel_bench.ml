@@ -37,32 +37,47 @@ type observation = {
   summary : Workload.Figures.summary;
   events : int;
   wall_s : float;  (* serial pass only; 0 in the parallel pass *)
+  minor_words : float;  (* serial pass only; GC pressure of the scenario *)
+  promoted_words : float;
 }
 
 let observe (spec : Workload.Figures.spec) (result : Workload.Runner.result) wall_s
-    =
+    ~minor_words ~promoted_words =
   {
     spec;
     payloads = Workload.Csv.result_strings result;
     summary = Workload.Figures.summarize spec result;
     events = Sim.Engine.executed result.Workload.Runner.network.Workload.Network.engine;
     wall_s;
+    minor_words;
+    promoted_words;
   }
 
 let serial_pass () =
   List.map
     (fun spec ->
+      (* Settle the heap first so the per-scenario allocation counters
+         measure the scenario, not the previous iteration's garbage. *)
+      Gc.full_major ();
+      let g0 = Gc.quick_stat () in
       let t0 = now () in
       let result = Workload.Figures.run spec in
       let wall = now () -. t0 in
-      observe spec result wall)
+      let g1 = Gc.quick_stat () in
+      observe spec result wall
+        ~minor_words:(g1.Gc.minor_words -. g0.Gc.minor_words)
+        ~promoted_words:(g1.Gc.promoted_words -. g0.Gc.promoted_words))
     (specs ())
 
 let parallel_pass () =
   let t0 = now () in
   let runs = Workload.Figures.run_all ~domains:!domains (specs ()) in
   let wall = now () -. t0 in
-  (List.map (fun (spec, result) -> observe spec result 0.) runs, wall)
+  ( List.map
+      (fun (spec, result) ->
+        observe spec result 0. ~minor_words:0. ~promoted_words:0.)
+      runs,
+    wall )
 
 let identical (a : observation) (b : observation) =
   a.payloads = b.payloads && a.summary = b.summary && a.events = b.events
@@ -96,10 +111,12 @@ let write_report ~serial ~serial_total ~parallel_total ~deterministic =
   List.iteri
     (fun i o ->
       p "    {\"id\": \"%s\", \"wall_s\": %.4f, \"events\": %d, \
-         \"events_per_s\": %.0f}%s\n"
+         \"events_per_s\": %.0f, \"minor_words\": %.0f, \
+         \"promoted_words\": %.0f}%s\n"
         (escape o.spec.Workload.Figures.id)
         o.wall_s o.events
         (float_of_int o.events /. Float.max 1e-9 o.wall_s)
+        o.minor_words o.promoted_words
         (if i = List.length serial - 1 then "" else ","))
     serial;
   p "  ],\n";
@@ -127,9 +144,10 @@ let () =
   write_report ~serial ~serial_total ~parallel_total ~deterministic;
   List.iter
     (fun o ->
-      Printf.printf "%-6s %7.3f s  %9d events  %10.0f events/s\n"
+      Printf.printf "%-6s %7.3f s  %9d events  %10.0f events/s  %12.0f minor words\n"
         o.spec.Workload.Figures.id o.wall_s o.events
-        (float_of_int o.events /. Float.max 1e-9 o.wall_s))
+        (float_of_int o.events /. Float.max 1e-9 o.wall_s)
+        o.minor_words)
     serial;
   Printf.printf
     "serial %.3f s  parallel(%d domains) %.3f s  speedup %.2fx  deterministic %b\n"

@@ -16,17 +16,27 @@ let observe t marker =
 
 let occupancy t = t.filled
 
-let select t ~fn =
+(* The RNG draw order — one bernoulli for the fractional part, then
+   [count] uniform draws in increasing order — is the published stream
+   contract: [select] consumed it through [List.init] (which evaluates
+   left to right), so [select_iter] must keep it for the committed
+   tables to stay byte-identical. *)
+let select_iter t ~fn f =
   if fn < 0. then invalid_arg "Cache_selector.select: negative budget";
-  if t.filled = 0 || Sim.Floats.is_zero fn then []
+  if t.filled = 0 || Sim.Floats.is_zero fn then 0
   else begin
     let whole = int_of_float fn in
     let frac = fn -. float_of_int whole in
     let count = whole + (if Sim.Rng.bernoulli t.rng frac then 1 else 0) in
-    let draw () =
+    for _ = 1 to count do
       match t.slots.(Sim.Rng.int t.rng t.filled) with
-      | Some marker -> marker
+      | Some marker -> f marker
       | None -> assert false (* indices < filled are always populated *)
-    in
-    List.init count (fun _ -> draw ())
+    done;
+    count
   end
+
+let select t ~fn =
+  let acc = ref [] in
+  let (_ : int) = select_iter t ~fn (fun marker -> acc := marker :: !acc) in
+  List.rev !acc

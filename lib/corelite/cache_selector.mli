@@ -20,5 +20,12 @@ val observe : t -> Net.Packet.marker -> unit
     empty. *)
 val select : t -> fn:float -> Net.Packet.marker list
 
+(** [select_iter t ~fn f] is [select] without building the list: [f]
+    receives each drawn marker in draw order and the number of draws is
+    returned (at most [floor fn + 1], [0] when the cache is empty) —
+    the feedback path uses this to emit markers with no list churn.
+    The RNG stream consumed is identical to {!select}'s. *)
+val select_iter : t -> fn:float -> (Net.Packet.marker -> unit) -> int
+
 (** Markers currently cached. *)
 val occupancy : t -> int

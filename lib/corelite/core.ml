@@ -85,7 +85,7 @@ let on_epoch t engine () =
   match t.selector with
   | Cache cache ->
     if fn > 0. then begin
-      let selected = Cache_selector.select cache ~fn in
+      let count = Cache_selector.select_iter cache ~fn (emit t) in
       if t.check then
         (* Epoch feedback budget: the cache returns at most ceil(Fn)
            markers for the epoch. *)
@@ -94,10 +94,9 @@ let on_epoch t engine () =
             Printf.sprintf
               "Core %s: cache selector returned %d markers for budget Fn=%.3f \
                (at most %d allowed)"
-              t.link.Net.Link.name (List.length selected) fn
+              t.link.Net.Link.name count fn
               (int_of_float fn + 1))
-          (List.length selected <= int_of_float fn + 1);
-      List.iter (emit t) selected
+          (count <= int_of_float fn + 1)
     end
   | Stateless sel -> Stateless_selector.on_epoch sel ~fn
 

@@ -7,6 +7,14 @@ type hooks = {
   on_queue_change : int -> unit;
 }
 
+(* Hot-path layout: the packet being serialized sits in [in_service]
+   (valid only while [busy]), packets in flight sit in the [wire] ring,
+   and the two persistent closures [tx_done_ev]/[deliver_ev] are pushed
+   with [Engine.schedule_unit] — so a transmission costs zero heap
+   allocations where it used to cost two fresh closures plus two
+   cancellation handles per packet. Propagation delay is constant per
+   link, so in-flight packets leave the wire in FIFO order and one ring
+   suffices. *)
 type t = {
   id : int;
   name : string;
@@ -17,6 +25,10 @@ type t = {
   qdisc : Qdisc.t;
   engine : Sim.Engine.t;
   mutable busy : bool;
+  mutable in_service : Packet.t;
+  wire : Packet.t Sim.Ring.t;
+  mutable tx_done_ev : unit -> unit;
+  mutable deliver_ev : unit -> unit;
   mutable hooks : hooks option;
   mutable on_drop : (drop_reason -> Packet.t -> unit) option;
   mutable deliver : Packet.t -> unit;
@@ -26,33 +38,6 @@ type t = {
   mutable bytes_sent : int;
   check : bool;
 }
-
-let create ?check_invariants ~engine ~id ~name ~src ~dst ~bandwidth ~delay ~qdisc () =
-  if bandwidth <= 0. then invalid_arg "Link.create: bandwidth must be positive";
-  if delay < 0. then invalid_arg "Link.create: negative delay";
-  let check =
-    match check_invariants with Some b -> b | None -> Sim.Invariant.default ()
-  in
-  let qdisc = if check then Qdisc.with_invariants qdisc else qdisc in
-  {
-    id;
-    name;
-    src;
-    dst;
-    bandwidth;
-    delay;
-    qdisc;
-    engine;
-    busy = false;
-    hooks = None;
-    on_drop = None;
-    deliver = (fun _ -> failwith ("Link " ^ name ^ ": deliver not wired"));
-    arrivals = 0;
-    departures = 0;
-    drops = 0;
-    bytes_sent = 0;
-    check;
-  }
 
 let capacity_pps t = t.bandwidth /. float_of_int (8 * Packet.default_size)
 
@@ -68,7 +53,8 @@ let drop t reason pkt =
   match t.on_drop with Some f -> f reason pkt | None -> ()
 
 (* Packet conservation: every arrival is accounted for exactly once —
-   transmitted, dropped, still queued, or on the wire right now. *)
+   transmitted (delivered or on the wire), dropped, still queued, or in
+   service right now. *)
 let check_conservation t =
   let queued = queue_length t in
   let in_service = if t.busy then 1 else 0 in
@@ -85,17 +71,63 @@ let rec start_transmission t =
   | None -> t.busy <- false
   | Some pkt ->
     t.busy <- true;
+    t.in_service <- pkt;
     notify_queue_change t;
     let tx_time = float_of_int (8 * pkt.Packet.size) /. t.bandwidth in
-    let on_tx_done () =
-      t.departures <- t.departures + 1;
-      t.bytes_sent <- t.bytes_sent + pkt.Packet.size;
-      let arrive () = t.deliver pkt in
-      ignore (Sim.Engine.schedule t.engine ~delay:t.delay arrive);
-      start_transmission t;
-      if t.check then check_conservation t
-    in
-    ignore (Sim.Engine.schedule t.engine ~delay:tx_time on_tx_done)
+    Sim.Engine.schedule_unit t.engine ~delay:tx_time t.tx_done_ev
+
+and tx_done t =
+  let pkt = t.in_service in
+  t.departures <- t.departures + 1;
+  t.bytes_sent <- t.bytes_sent + pkt.Packet.size;
+  (* One delivery event per packet, scheduled now (at serialization
+     end) exactly as the old per-packet closure was — keeping the
+     event-heap seq assignment, and with it every FIFO tie-break among
+     simultaneous events, byte-identical to the pre-ring behaviour. *)
+  Sim.Ring.push t.wire pkt;
+  Sim.Engine.schedule_unit t.engine ~delay:t.delay t.deliver_ev;
+  start_transmission t;
+  if t.check then check_conservation t
+
+let deliver_head t = t.deliver (Sim.Ring.pop_exn t.wire)
+
+let create ?check_invariants ~engine ~id ~name ~src ~dst ~bandwidth ~delay ~qdisc () =
+  if bandwidth <= 0. then invalid_arg "Link.create: bandwidth must be positive";
+  if delay < 0. then invalid_arg "Link.create: negative delay";
+  let check =
+    match check_invariants with Some b -> b | None -> Sim.Invariant.default ()
+  in
+  let qdisc = if check then Qdisc.with_invariants qdisc else qdisc in
+  let t =
+    {
+      id;
+      name;
+      src;
+      dst;
+      bandwidth;
+      delay;
+      qdisc;
+      engine;
+      busy = false;
+      (* Placeholder occupying [in_service] while idle; never read
+         ([busy] gates every access). *)
+      in_service = Packet.make ~id:(-1) ~flow:(-1) ~created:0. ();
+      wire = Sim.Ring.create ();
+      tx_done_ev = ignore;
+      deliver_ev = ignore;
+      hooks = None;
+      on_drop = None;
+      deliver = (fun _ -> failwith ("Link " ^ name ^ ": deliver not wired"));
+      arrivals = 0;
+      departures = 0;
+      drops = 0;
+      bytes_sent = 0;
+      check;
+    }
+  in
+  t.tx_done_ev <- (fun () -> tx_done t);
+  t.deliver_ev <- (fun () -> deliver_head t);
+  t
 
 let send t pkt =
   t.arrivals <- t.arrivals + 1;

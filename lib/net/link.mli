@@ -32,6 +32,17 @@ type t = {
   qdisc : Qdisc.t;
   engine : Sim.Engine.t;
   mutable busy : bool;
+  mutable in_service : Packet.t;
+      (** the packet being serialized; a placeholder (id [-1]) while
+          not [busy] — never read then *)
+  wire : Packet.t Sim.Ring.t;
+      (** packets in flight; constant propagation delay keeps them
+          FIFO, so one ring per link suffices *)
+  mutable tx_done_ev : unit -> unit;
+  mutable deliver_ev : unit -> unit;
+      (** the two persistent event closures reused for every packet —
+          scheduled via {!Sim.Engine.schedule_unit}, so transmitting
+          and delivering allocate nothing per packet *)
   mutable hooks : hooks option;
   mutable on_drop : (drop_reason -> Packet.t -> unit) option;
       (** Fires for every packet lost on this link, whether rejected by

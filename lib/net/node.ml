@@ -15,14 +15,16 @@ let set_route t ~flow link = Hashtbl.replace t.routes flow link
 
 let set_sink t ~flow consume = Hashtbl.replace t.sinks flow consume
 
+(* Exception-style lookups: [Hashtbl.find_opt] would allocate a [Some]
+   per hop on the forwarding path. *)
 let receive t pkt =
   let flow = pkt.Packet.flow in
-  match Hashtbl.find_opt t.routes flow with
-  | Some link -> Link.send link pkt
-  | None -> (
-    match Hashtbl.find_opt t.sinks flow with
-    | Some consume -> consume pkt
-    | None ->
+  match Hashtbl.find t.routes flow with
+  | link -> Link.send link pkt
+  | exception Not_found -> (
+    match Hashtbl.find t.sinks flow with
+    | consume -> consume pkt
+    | exception Not_found ->
       failwith
         (Printf.sprintf "Node %s: no route or sink for flow %d" t.name flow))
 

@@ -8,25 +8,31 @@ type t = {
   kind : string;
 }
 
-(* A plain FIFO buffer shared by every discipline. *)
+(* A plain FIFO buffer shared by every discipline — a growable ring
+   ([Sim.Ring]) rather than [Stdlib.Queue], so steady-state enqueues
+   allocate nothing (a Queue cell per push is pure minor-GC pressure on
+   the per-packet path; lint rule L6 enforces the choice). *)
 module Fifo = struct
-  type nonrec t = { q : Packet.t Queue.t; mutable bytes : int }
+  type nonrec t = { q : Packet.t Sim.Ring.t; mutable bytes : int }
 
-  let create () = { q = Queue.create (); bytes = 0 }
+  let create () = { q = Sim.Ring.create (); bytes = 0 }
 
   let push t pkt =
-    Queue.push pkt t.q;
+    Sim.Ring.push t.q pkt;
     t.bytes <- t.bytes + pkt.Packet.size
 
   let pop t =
-    match Queue.take_opt t.q with
-    | None -> None
-    | Some pkt ->
+    if Sim.Ring.is_empty t.q then None
+    else begin
+      let pkt = Sim.Ring.pop_exn t.q in
       t.bytes <- t.bytes - pkt.Packet.size;
       Some pkt
+    end
 
-  let peek t = Queue.peek_opt t.q
-  let length t = Queue.length t.q
+  let peek t =
+    if Sim.Ring.is_empty t.q then None else Some (Sim.Ring.peek_exn t.q)
+
+  let length t = Sim.Ring.length t.q
   let bytes t = t.bytes
 end
 
@@ -272,7 +278,7 @@ let drr ~weight ?(quantum_unit = Packet.default_size) ~capacity () =
      banked deficit, and membership in the active round-robin ring. *)
   let queues : (int, Fifo.t) Hashtbl.t = Hashtbl.create 16 in
   let banked : (int, int) Hashtbl.t = Hashtbl.create 16 in
-  let ring : int Queue.t = Queue.create () in
+  let ring : int Sim.Ring.t = Sim.Ring.create () in
   (* The flow currently holding the service token and its remaining
      deficit for this round. *)
   let current = ref None in
@@ -302,7 +308,7 @@ let drr ~weight ?(quantum_unit = Packet.default_size) ~capacity () =
       (* Newly backlogged: join the ring. An empty queue can never hold
          the service token (it is retired on drain), so no clash. *)
       if Fifo.length q = 0 then begin
-        Queue.push flow ring;
+        Sim.Ring.push ring flow;
         Hashtbl.replace banked flow 0
       end;
       Fifo.push q pkt;
@@ -341,19 +347,20 @@ let drr ~weight ?(quantum_unit = Packet.default_size) ~capacity () =
         | Some _ ->
           (* Quantum spent: bank the remainder, go to the ring tail. *)
           Hashtbl.replace banked flow deficit;
-          Queue.push flow ring;
+          Sim.Ring.push ring flow;
           current := None;
           dequeue ()))
-    | None -> (
-      match Queue.take_opt ring with
-      | None -> None
-      | Some flow ->
+    | None ->
+      if Sim.Ring.is_empty ring then None
+      else begin
+        let flow = Sim.Ring.pop_exn ring in
         if Hashtbl.mem queues flow then begin
           let carried = Option.value ~default:0 (Hashtbl.find_opt banked flow) in
           current := Some (flow, carried + quantum flow);
           dequeue ()
         end
-        else dequeue ())
+        else dequeue ()
+      end
   in
   {
     enqueue;

@@ -16,6 +16,28 @@ type t = {
   kind : string;
 }
 
+(** The FIFO packet buffer every discipline builds on: a growable ring
+    ({!Sim.Ring}) with a running byte count, so steady-state pushes
+    allocate nothing. Exposed for the model tests that check it against
+    a [Stdlib.Queue] reference. *)
+module Fifo : sig
+  type t
+
+  val create : unit -> t
+
+  val push : t -> Packet.t -> unit
+
+  (** FIFO removal; [None] when empty. *)
+  val pop : t -> Packet.t option
+
+  val peek : t -> Packet.t option
+
+  val length : t -> int
+
+  (** Sum of the buffered packets' sizes. *)
+  val bytes : t -> int
+end
+
 (** FIFO with tail drop when more than [capacity] packets wait. *)
 val droptail : capacity:int -> t
 

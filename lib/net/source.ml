@@ -34,31 +34,61 @@ type t = {
   mutable running : bool;
   mutable active : bool;  (* application has data to send *)
   mutable emitted : int;
-  mutable pacing : Sim.Engine.handle option;
+  (* Pacing events are scheduled with [Engine.schedule_unit] through
+     one persistent closure ([pace_ev]) instead of a fresh closure and
+     cancellation handle per packet. [pacing_pending] counts pacing
+     events in flight; only the most recently scheduled one continues
+     the chain, so events left over from a stop/start cycle drain as
+     no-ops exactly like the cancelled handles they replace. *)
+  mutable pacing_pending : int;
+  mutable pace_ev : unit -> unit;
   mutable epoch_timer : Sim.Engine.handle option;
   mutable ss_timer : Sim.Engine.handle option;
 }
+
+let emit_one t =
+  if t.active then begin
+    t.emitted <- t.emitted + 1;
+    t.emit ~now:(Sim.Engine.now t.engine) ~rate:t.rate
+  end
+
+let schedule_pace t =
+  let interval = 1. /. Float.max t.rate 1e-6 in
+  t.pacing_pending <- t.pacing_pending + 1;
+  Sim.Engine.schedule_unit t.engine ~delay:interval t.pace_ev
+
+let pace t =
+  t.pacing_pending <- t.pacing_pending - 1;
+  if t.running && t.pacing_pending = 0 then begin
+    emit_one t;
+    schedule_pace t
+  end
 
 let create ~engine ?(epoch_offset = 0.) ~params ~emit ~collect () =
   if params.initial_rate <= 0. then invalid_arg "Source.create: initial_rate";
   if params.epoch <= 0. then invalid_arg "Source.create: epoch";
   if epoch_offset < 0. || epoch_offset >= params.epoch then
     invalid_arg "Source.create: epoch_offset out of [0, epoch)";
-  {
-    engine;
-    params;
-    epoch_offset;
-    emit;
-    collect;
-    rate = params.initial_rate;
-    phase = Slow_start;
-    running = false;
-    active = true;
-    emitted = 0;
-    pacing = None;
-    epoch_timer = None;
-    ss_timer = None;
-  }
+  let t =
+    {
+      engine;
+      params;
+      epoch_offset;
+      emit;
+      collect;
+      rate = params.initial_rate;
+      phase = Slow_start;
+      running = false;
+      active = true;
+      emitted = 0;
+      pacing_pending = 0;
+      pace_ev = ignore;
+      epoch_timer = None;
+      ss_timer = None;
+    }
+  in
+  t.pace_ev <- (fun () -> pace t);
+  t
 
 let rate t = t.rate
 
@@ -108,16 +138,6 @@ let on_ss_tick t () =
     if t.rate > t.params.ss_thresh then exit_slow_start t
   end
 
-let rec send_one t () =
-  if t.running then begin
-    if t.active then begin
-      t.emitted <- t.emitted + 1;
-      t.emit ~now:(Sim.Engine.now t.engine) ~rate:t.rate
-    end;
-    let interval = 1. /. Float.max t.rate 1e-6 in
-    t.pacing <- Some (Sim.Engine.schedule t.engine ~delay:interval (send_one t))
-  end
-
 let set_active t active = t.active <- active
 
 let active t = t.active
@@ -126,10 +146,8 @@ let stop t =
   if t.running then begin
     t.running <- false;
     let cancel = function Some h -> Sim.Engine.cancel h | None -> () in
-    cancel t.pacing;
     cancel t.epoch_timer;
     cancel t.ss_timer;
-    t.pacing <- None;
     t.epoch_timer <- None;
     t.ss_timer <- None
   end
@@ -153,4 +171,5 @@ let start t =
         (Sim.Engine.every t.engine
            ~start:(now +. t.params.ss_period +. t.epoch_offset)
            ~period:t.params.ss_period (on_ss_tick t));
-  send_one t ()
+  emit_one t;
+  schedule_pace t

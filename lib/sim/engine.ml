@@ -1,12 +1,21 @@
 type handle = { mutable cancelled : bool }
 
-type event = { action : unit -> unit; handle : handle }
+(* The queue payload is the bare action thunk. Cancellation is layered
+   on top only where requested: [schedule]/[schedule_at] wrap the
+   action in a closure that consults its handle, while [schedule_unit]
+   pushes the caller's closure directly — the zero-allocation path the
+   per-packet machinery (link transmissions and deliveries) runs on. *)
+(* The clock lives in its own all-float record: OCaml stores such
+   records flat, so advancing the clock on every step is an unboxed
+   store, where a [mutable clock : float] field in the mixed record
+   below would allocate a fresh box per write. *)
+type clock = { mutable time : float }
 
 type t = {
-  mutable clock : float;
+  clock : clock;
   mutable seq : int;
   mutable executed : int;
-  queue : event Event_queue.t;
+  queue : (unit -> unit) Event_queue.t;
   mutable check : bool;
 }
 
@@ -14,10 +23,10 @@ let create ?check_invariants () =
   let check =
     match check_invariants with Some b -> b | None -> Invariant.default ()
   in
-  { clock = 0.; seq = 0; executed = 0; queue = Event_queue.create (); check }
+  { clock = { time = 0. }; seq = 0; executed = 0; queue = Event_queue.create (); check }
 
 let reset ?check_invariants t =
-  t.clock <- 0.;
+  t.clock.time <- 0.;
   (* The seq counter must restart from 0: it breaks ties among
      simultaneous events, so a reused engine that kept counting would
      order a replayed scenario identically only by luck. *)
@@ -27,7 +36,7 @@ let reset ?check_invariants t =
   t.check <-
     (match check_invariants with Some b -> b | None -> Invariant.default ())
 
-let now t = t.clock
+let now t = t.clock.time
 
 let executed t = t.executed
 
@@ -38,31 +47,48 @@ let pending t = Event_queue.length t.queue
 let check_time label x =
   if not (Float.is_finite x) then invalid_arg (label ^ ": time not finite")
 
-let push t ~time action handle =
+let[@inline] push t ~time action =
   t.seq <- t.seq + 1;
-  Event_queue.add t.queue ~key:time ~seq:t.seq { action; handle }
+  Event_queue.add t.queue ~key:time ~seq:t.seq action
 
 let schedule_at t ~time action =
   check_time "Engine.schedule_at" time;
-  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  if time < t.clock.time then invalid_arg "Engine.schedule_at: time in the past";
   let handle = { cancelled = false } in
-  push t ~time action handle;
+  push t ~time (fun () -> if not handle.cancelled then action ());
   handle
 
 let schedule t ~delay action =
   check_time "Engine.schedule" delay;
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
-  schedule_at t ~time:(t.clock +. delay) action
+  schedule_at t ~time:(t.clock.time +. delay) action
+
+let[@inline] schedule_unit t ~delay action =
+  check_time "Engine.schedule_unit" delay;
+  if delay < 0. then invalid_arg "Engine.schedule_unit: negative delay";
+  push t ~time:(t.clock.time +. delay) action
 
 let every t ?start ~period action =
+  check_time "Engine.every" period;
   if period <= 0. then invalid_arg "Engine.every: period must be positive";
-  let start = match start with Some s -> s | None -> t.clock +. period in
-  let handle = { cancelled = false } in
-  let rec fire () =
-    action ();
-    if not handle.cancelled then push t ~time:(t.clock +. period) fire handle
+  let start =
+    match start with
+    | None -> t.clock.time +. period
+    | Some s ->
+      check_time "Engine.every" s;
+      if s < t.clock.time then invalid_arg "Engine.every: start in the past";
+      s
   in
-  push t ~time:start fire handle;
+  let handle = { cancelled = false } in
+  (* One closure for the whole recurrence: re-pushing [fire] allocates
+     nothing, so a periodic sampler costs zero heap per period. *)
+  let rec fire () =
+    if not handle.cancelled then begin
+      action ();
+      if not handle.cancelled then push t ~time:(t.clock.time +. period) fire
+    end
+  in
+  push t ~time:start fire;
   handle
 
 let cancel handle = handle.cancelled <- true
@@ -70,26 +96,28 @@ let cancel handle = handle.cancelled <- true
 let is_cancelled handle = handle.cancelled
 
 let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, _, event) ->
+  if Event_queue.is_empty t.queue then false
+  else begin
+    let time = Event_queue.next_time t.queue in
+    let action = Event_queue.pop_exn t.queue in
     if t.check then
-      Invariant.require ~what:"Engine: event time behind the clock (time must be monotone)"
-        (time >= t.clock);
-    t.clock <- time;
+      Invariant.require
+        ~what:"Engine: event time behind the clock (time must be monotone)"
+        (time >= t.clock.time);
+    t.clock.time <- time;
     t.executed <- t.executed + 1;
-    if not event.handle.cancelled then event.action ();
+    action ();
     true
+  end
 
 let run t = while step t do () done
 
 let run_until t limit =
+  (* [next_time] is [infinity] on an empty queue, so the comparison
+     doubles as the emptiness test; the [&& step t] keeps
+     [run_until t infinity] draining instead of spinning. *)
   let rec loop () =
-    match Event_queue.peek_key t.queue with
-    | Some (time, _) when time <= limit ->
-      ignore (step t);
-      loop ()
-    | Some _ | None -> ()
+    if Event_queue.next_time t.queue <= limit && step t then loop ()
   in
   loop ();
-  if limit > t.clock then t.clock <- limit
+  if limit > t.clock.time then t.clock.time <- limit

@@ -3,7 +3,14 @@
     The engine owns a virtual clock and an event queue. Events are thunks
     scheduled at absolute or relative virtual times; they fire in time
     order (FIFO among simultaneous events) and may schedule further
-    events. Every run of the same event program is deterministic. *)
+    events. Every run of the same event program is deterministic.
+
+    Scheduling comes in two flavours: the cancellable
+    {!schedule}/{!schedule_at}/{!every} return a {!handle} (costing a
+    handle record plus a guard closure per call), while
+    {!schedule_unit} pushes the caller's closure straight onto the
+    event heap with no allocation at all — the contract the per-packet
+    hot path ({!Net.Link}) is built on. *)
 
 type t
 
@@ -46,10 +53,20 @@ val schedule : t -> delay:float -> (unit -> unit) -> handle
     @raise Invalid_argument if [time] is in the past or not finite. *)
 val schedule_at : t -> time:float -> (unit -> unit) -> handle
 
+(** [schedule_unit t ~delay f] fires [f] at [now t +. delay] with no
+    cancellation handle and {e no heap allocation} (the closure is
+    pushed directly onto the event heap). Use it with a persistent,
+    reused closure for events that are never cancelled — per-packet
+    transmission completions and deliveries.
+    @raise Invalid_argument if [delay] is negative or not finite. *)
+val schedule_unit : t -> delay:float -> (unit -> unit) -> unit
+
 (** [every t ~start ~period f] fires [f] at [start], [start +. period],
     [start +. 2 *. period], ... until the handle is cancelled. [start]
-    defaults to [now t +. period].
-    @raise Invalid_argument if [period <= 0.]. *)
+    defaults to [now t +. period]. After the first firing, the
+    recurrence allocates nothing per period (one closure is re-pushed).
+    @raise Invalid_argument if [period <= 0.] or not finite, or if
+    [start] is in the past or not finite. *)
 val every : t -> ?start:float -> period:float -> (unit -> unit) -> handle
 
 (** Cancel a pending event. Cancelling an already-fired or already-

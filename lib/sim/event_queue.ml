@@ -1,85 +1,131 @@
-type 'a entry = { key : float; seq : int; value : 'a }
+(* Parallel-array binary min-heap: keys (times) live in an unboxed
+   [float array], tie-break sequence numbers in an [int array], and
+   payloads in an ['a array]. Compared to an array of records this
+   keeps the push/pop path allocation-free — no entry record, no boxed
+   key float, no option on the unboxed accessors — which matters
+   because every simulated packet crosses this structure twice per
+   hop.
+
+   Implementation notes for the allocation contract (vanilla ocamlopt,
+   no flambda): the sift loops are top-level recursive functions over
+   [(q, index)] that compare and swap array slots directly, never
+   binding a closure or carrying a float argument, because a nested
+   [let rec] capturing the in-hand key would allocate a closure (and
+   box the float) on every push and pop. The swap variant does a few
+   more stores than the hole-carrying variant; stores are cheap, minor
+   allocations are the thing being optimized away. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable keys : float array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
   mutable size : int;
 }
 
 let initial_capacity = 64
 
-let create () = { data = [||]; size = 0 }
+let create () = { keys = [||]; seqs = [||]; vals = [||]; size = 0 }
 
 let clear q =
   (* Drop the storage too: a cleared queue must not pin the payloads of
      a previous run alive (pool workers keep queues across scenarios). *)
-  q.data <- [||];
+  q.keys <- [||];
+  q.seqs <- [||];
+  q.vals <- [||];
   q.size <- 0
 
 let length q = q.size
 
 let is_empty q = q.size = 0
 
-let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+(* (key, seq) lexicographic order between two slots; seq values are
+   unique, so the heap order is total and the pop sequence is
+   independent of the internal layout. Float [=] on keys is exact on
+   purpose: equal simulation times must compare equal for FIFO
+   tie-breaking. *)
+let[@inline] slot_lt q i j =
+  q.keys.(i) < q.keys.(j) || (q.keys.(i) = q.keys.(j) && q.seqs.(i) < q.seqs.(j))
 
-let grow q entry =
-  let capacity = Array.length q.data in
-  if q.size = capacity then begin
-    let capacity' = if capacity = 0 then initial_capacity else 2 * capacity in
-    let data' = Array.make capacity' entry in
-    Array.blit q.data 0 data' 0 q.size;
-    q.data <- data'
+let[@inline] swap q i j =
+  let k = q.keys.(i) in
+  q.keys.(i) <- q.keys.(j);
+  q.keys.(j) <- k;
+  let s = q.seqs.(i) in
+  q.seqs.(i) <- q.seqs.(j);
+  q.seqs.(j) <- s;
+  let v = q.vals.(i) in
+  q.vals.(i) <- q.vals.(j);
+  q.vals.(j) <- v
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if slot_lt q i parent then begin
+      swap q i parent;
+      sift_up q parent
+    end
   end
 
-let sift_up q i =
-  let entry = q.data.(i) in
-  let rec loop i =
-    if i = 0 then i
-    else
-      let parent = (i - 1) / 2 in
-      if less entry q.data.(parent) then begin
-        q.data.(i) <- q.data.(parent);
-        loop parent
-      end
-      else i
-  in
-  q.data.(loop i) <- entry
+let rec sift_down q i =
+  let left = (2 * i) + 1 in
+  if left < q.size then begin
+    let right = left + 1 in
+    let child =
+      if right < q.size && slot_lt q right left then right else left
+    in
+    if slot_lt q child i then begin
+      swap q i child;
+      sift_down q child
+    end
+  end
 
-let sift_down q i =
-  let entry = q.data.(i) in
-  let rec loop i =
-    let left = (2 * i) + 1 in
-    if left >= q.size then i
-    else
-      let right = left + 1 in
-      let child =
-        if right < q.size && less q.data.(right) q.data.(left) then right
-        else left
-      in
-      if less q.data.(child) entry then begin
-        q.data.(i) <- q.data.(child);
-        loop child
-      end
-      else i
-  in
-  q.data.(loop i) <- entry
+let grow q value =
+  let capacity = Array.length q.vals in
+  let capacity' = if capacity = 0 then initial_capacity else 2 * capacity in
+  (* The inserted element doubles as the fill so no dummy ['a] is
+     needed; the key/seq fills are plain scalars. *)
+  let keys' = Array.make capacity' 0. in
+  let seqs' = Array.make capacity' 0 in
+  let vals' = Array.make capacity' value in
+  Array.blit q.keys 0 keys' 0 q.size;
+  Array.blit q.seqs 0 seqs' 0 q.size;
+  Array.blit q.vals 0 vals' 0 q.size;
+  q.keys <- keys';
+  q.seqs <- seqs';
+  q.vals <- vals'
 
-let add q ~key ~seq value =
-  let entry = { key; seq; value } in
-  grow q entry;
-  q.data.(q.size) <- entry;
-  q.size <- q.size + 1;
-  sift_up q (q.size - 1)
+let[@inline] add q ~key ~seq value =
+  if q.size = Array.length q.vals then grow q value;
+  let i = q.size in
+  q.keys.(i) <- key;
+  q.seqs.(i) <- seq;
+  q.vals.(i) <- value;
+  q.size <- i + 1;
+  sift_up q i
+
+let[@inline] next_time q = if q.size = 0 then infinity else q.keys.(0)
+
+let pop_exn q =
+  if q.size = 0 then invalid_arg "Event_queue.pop_exn: empty";
+  let top = q.vals.(0) in
+  let last = q.size - 1 in
+  q.size <- last;
+  if last > 0 then begin
+    q.keys.(0) <- q.keys.(last);
+    q.seqs.(0) <- q.seqs.(last);
+    q.vals.(0) <- q.vals.(last);
+    sift_down q 0
+  end;
+  (* Popped slots are not blanked (no dummy ['a] exists): at most one
+     array's worth of stale payloads stays reachable until overwritten
+     or [clear]ed — same bounded-pinning contract as [Ring]. *)
+  top
 
 let pop q =
   if q.size = 0 then None
   else begin
-    let top = q.data.(0) in
-    q.size <- q.size - 1;
-    if q.size > 0 then begin
-      q.data.(0) <- q.data.(q.size);
-      sift_down q 0
-    end;
-    Some (top.key, top.seq, top.value)
+    let key = q.keys.(0) and seq = q.seqs.(0) in
+    Some (key, seq, pop_exn q)
   end
 
-let peek_key q = if q.size = 0 then None else Some (q.data.(0).key, q.data.(0).seq)
+let peek_key q = if q.size = 0 then None else Some (q.keys.(0), q.seqs.(0))

@@ -1,7 +1,15 @@
 (** Binary min-heap of timestamped entries.
 
-    Entries are ordered by [key] (simulation time) and, for equal keys, by
-    [seq] (insertion order), so simultaneous events fire in FIFO order. *)
+    Entries are ordered by [key] (simulation time) and, for equal keys,
+    by [seq] (insertion order), so simultaneous events fire in FIFO
+    order.
+
+    Two access styles coexist: the boxed {!pop}/{!peek_key} return
+    options (convenient in tests and cold paths), while the unboxed
+    {!next_time}/{!pop_exn} pair serves the engine's hot loop without
+    allocating — internally the heap stores keys in a flat [float
+    array] alongside parallel seq/payload arrays, so neither style
+    allocates per entry beyond the payload itself. *)
 
 type 'a t
 
@@ -16,8 +24,20 @@ val length : 'a t -> int
 
 val is_empty : 'a t -> bool
 
-(** [add q ~key ~seq v] inserts [v] with priority [(key, seq)]. *)
+(** [add q ~key ~seq v] inserts [v] with priority [(key, seq)].
+    Allocation-free except when the backing arrays double. *)
 val add : 'a t -> key:float -> seq:int -> 'a -> unit
+
+(** [next_time q] is the minimum key, or [infinity] when the queue is
+    empty — the unboxed replacement for {!peek_key} on the hot loop
+    (finite keys are enforced by the engine, so [infinity] is an
+    unambiguous sentinel). *)
+val next_time : 'a t -> float
+
+(** [pop_exn q] removes and returns the minimum entry's payload without
+    boxing.
+    @raise Invalid_argument when empty — guard with {!is_empty}. *)
+val pop_exn : 'a t -> 'a
 
 (** [pop q] removes and returns the minimum entry, or [None] if empty. *)
 val pop : 'a t -> (float * int * 'a) option

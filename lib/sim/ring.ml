@@ -1,0 +1,56 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable head : int;  (* index of the oldest element when len > 0 *)
+  mutable len : int;
+}
+
+let initial_capacity = 16
+
+let create () = { data = [||]; head = 0; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let clear t =
+  (* Drop the storage too: a cleared ring must not pin the payloads of
+     a previous run alive (pool workers reuse engines across runs). *)
+  t.data <- [||];
+  t.head <- 0;
+  t.len <- 0
+
+(* Grow by doubling, rebasing the live window to index 0. The pushed
+   element doubles as the [Array.make] fill so no dummy value is ever
+   needed for an arbitrary ['a] (same idiom as [Event_queue]); stale
+   slots between [len] and [capacity] can pin at most one generation
+   of old elements, which [clear] releases wholesale. *)
+let grow t x =
+  let capacity = Array.length t.data in
+  let capacity' = if capacity = 0 then initial_capacity else 2 * capacity in
+  let data' = Array.make capacity' x in
+  let tail = capacity - t.head in
+  let first = Stdlib.min t.len tail in
+  Array.blit t.data t.head data' 0 first;
+  if t.len > first then Array.blit t.data 0 data' first (t.len - first);
+  t.data <- data';
+  t.head <- 0
+
+let push t x =
+  if t.len = Array.length t.data then grow t x;
+  let i = t.head + t.len in
+  let capacity = Array.length t.data in
+  t.data.(if i >= capacity then i - capacity else i) <- x;
+  t.len <- t.len + 1
+
+let peek_exn t =
+  if t.len = 0 then invalid_arg "Ring.peek_exn: empty";
+  t.data.(t.head)
+
+let pop_exn t =
+  if t.len = 0 then invalid_arg "Ring.pop_exn: empty";
+  let x = t.data.(t.head) in
+  let head' = t.head + 1 in
+  t.head <- (if head' = Array.length t.data then 0 else head');
+  t.len <- t.len - 1;
+  if t.len = 0 then t.head <- 0;
+  x

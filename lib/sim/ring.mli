@@ -1,0 +1,36 @@
+(** Growable circular FIFO buffer — the zero-allocation replacement for
+    [Stdlib.Queue] on the per-packet hot path (lint rule L6 confines
+    [Queue] out of [lib/net] and [lib/sim] accordingly).
+
+    Unlike [Stdlib.Queue], whose every [push] allocates a cell, steady-
+    state [push]/[pop_exn] here touch only the backing array: the ring
+    allocates solely when it doubles its capacity. Popped slots are not
+    overwritten, so up to one array's worth of stale elements can stay
+    reachable until they are overwritten by later pushes — call
+    {!clear} between runs when payload lifetime matters (engine-reuse
+    in pool workers does). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push t x] appends [x] at the tail. Amortized O(1); allocates only
+    when the backing array doubles. *)
+val push : 'a t -> 'a -> unit
+
+(** [pop_exn t] removes and returns the oldest element.
+    @raise Invalid_argument when empty — guard with {!is_empty}. *)
+val pop_exn : 'a t -> 'a
+
+(** [peek_exn t] returns the oldest element without removing it.
+    @raise Invalid_argument when empty — guard with {!is_empty}. *)
+val peek_exn : 'a t -> 'a
+
+(** [clear t] empties the ring and releases its storage (and with it
+    any stale popped payloads), returning it to the freshly-created
+    state. *)
+val clear : 'a t -> unit

@@ -17,6 +17,10 @@
     priority queue, e.g. inside Dijkstra). *)
 module Event_queue = Event_queue
 
+(** Growable circular FIFO buffer — the allocation-free [Stdlib.Queue]
+    replacement for hot-path packet buffers. *)
+module Ring = Ring
+
 (** The virtual clock and scheduler. *)
 module Engine = Engine
 

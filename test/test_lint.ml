@@ -1,5 +1,5 @@
 (* Tests for the project linter (tools/lint): one accepting and one
-   rejecting fixture per rule L1-L5, waiver handling, parse errors, and
+   rejecting fixture per rule L1-L6, waiver handling, parse errors, and
    statistical properties of the Sim.Rng determinism substrate the
    linter funnels all randomness through. *)
 
@@ -184,6 +184,32 @@ let test_l5_allows_exit_as_variable () =
   check_rules "exit as a plain variable" [] vs
 
 (* ------------------------------------------------------------------ *)
+(* L6: Stdlib.Queue confined out of the hot path *)
+
+let test_l6_flags_queue_in_hot_path () =
+  let vs =
+    lint_one "lib/net/foo.ml"
+      "let q = Queue.create ()\nlet n = Stdlib.Queue.length q\n"
+  in
+  check_rules "Queue in lib/net" [ Lint.L6_hot_queue; Lint.L6_hot_queue ] vs;
+  let vs = lint_one "lib/sim/foo.ml" "module Q = Queue\n" in
+  check_rules "module alias in lib/sim" [ Lint.L6_hot_queue ] vs
+
+let test_l6_allows_queue_elsewhere () =
+  (* Setup/reporting code off the per-packet path may still use Queue. *)
+  let vs = lint_one "lib/corelite/agg.ml" "let q = Queue.create ()\n" in
+  check_rules "Queue outside the hot path" [] vs;
+  let vs = lint_one "bin/run.ml" "let q = Queue.create ()\n" in
+  check_rules "Queue in an executable" [] vs
+
+let test_l6_waiver () =
+  let vs =
+    lint_one "lib/net/foo.ml"
+      "(* lint: queue-ok -- cold setup path *)\nlet q = Queue.create ()\n"
+  in
+  check_rules "waived" [] vs
+
+(* ------------------------------------------------------------------ *)
 (* Parse errors and the directory walker *)
 
 let test_parse_error_reported () =
@@ -311,6 +337,14 @@ let () =
             test_l5_flags_obj_magic_and_exit_call;
           Alcotest.test_case "allows exit variable" `Quick
             test_l5_allows_exit_as_variable;
+        ] );
+      ( "l6_hot_queue",
+        [
+          Alcotest.test_case "flags Queue in hot path" `Quick
+            test_l6_flags_queue_in_hot_path;
+          Alcotest.test_case "allows Queue elsewhere" `Quick
+            test_l6_allows_queue_elsewhere;
+          Alcotest.test_case "waiver" `Quick test_l6_waiver;
         ] );
       ( "driver",
         [

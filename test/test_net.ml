@@ -62,6 +62,62 @@ let test_droptail_rejects_bad_capacity () =
     (Invalid_argument "Qdisc.droptail: capacity must be positive") (fun () ->
       ignore (Net.Qdisc.droptail ~capacity:0))
 
+let qt = QCheck_alcotest.to_alcotest
+
+(* The ring-backed FIFO must be observationally identical to a
+   [Stdlib.Queue] with a byte counter — including across the head
+   wraparound and growth cases that a plain push-then-drain test never
+   reaches. Ops: [Some size] pushes a packet of that size, [None]
+   alternates between pop and peek. *)
+let prop_fifo_matches_stdlib_queue =
+  QCheck.Test.make ~count:300 ~name:"Qdisc.Fifo matches Stdlib.Queue model"
+    QCheck.(list (option (int_range 1 1500)))
+    (fun ops ->
+      let fifo = Net.Qdisc.Fifo.create () in
+      let model = Queue.create () in
+      let model_bytes = ref 0 in
+      let id = ref 0 in
+      List.iteri
+        (fun step op ->
+          (match op with
+          | Some size ->
+            incr id;
+            let p = mk_packet ~id:!id ~size () in
+            Net.Qdisc.Fifo.push fifo p;
+            Queue.push p model;
+            model_bytes := !model_bytes + size
+          | None when step land 1 = 0 -> (
+            match (Net.Qdisc.Fifo.pop fifo, Queue.take_opt model) with
+            | Some p, Some q ->
+              if p.Net.Packet.id <> q.Net.Packet.id then
+                QCheck.Test.fail_report "pop order diverged";
+              model_bytes := !model_bytes - q.Net.Packet.size
+            | None, None -> ()
+            | _ -> QCheck.Test.fail_report "pop emptiness diverged")
+          | None -> (
+            match (Net.Qdisc.Fifo.peek fifo, Queue.peek_opt model) with
+            | Some p, Some q ->
+              if p.Net.Packet.id <> q.Net.Packet.id then
+                QCheck.Test.fail_report "peek diverged"
+            | None, None -> ()
+            | _ -> QCheck.Test.fail_report "peek emptiness diverged"));
+          if Net.Qdisc.Fifo.length fifo <> Queue.length model then
+            QCheck.Test.fail_report "length diverged";
+          if Net.Qdisc.Fifo.bytes fifo <> !model_bytes then
+            QCheck.Test.fail_report "bytes diverged")
+        ops;
+      (* Drain: the full residual contents must match. *)
+      let rec drain () =
+        match (Net.Qdisc.Fifo.pop fifo, Queue.take_opt model) with
+        | Some p, Some q ->
+          if p.Net.Packet.id <> q.Net.Packet.id then
+            QCheck.Test.fail_report "drain order diverged";
+          drain ()
+        | None, None -> true
+        | _ -> QCheck.Test.fail_report "drain emptiness diverged"
+      in
+      drain ())
+
 (* ------------------------------------------------------------------ *)
 (* Qdisc: RED *)
 
@@ -860,6 +916,7 @@ let () =
           Alcotest.test_case "capacity" `Quick test_droptail_capacity;
           Alcotest.test_case "bytes" `Quick test_droptail_bytes;
           Alcotest.test_case "bad capacity" `Quick test_droptail_rejects_bad_capacity;
+          qt prop_fifo_matches_stdlib_queue;
         ] );
       ( "red",
         [

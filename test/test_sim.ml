@@ -155,6 +155,146 @@ let prop_queue_length_tracks_model =
         ops;
       !ok)
 
+(* The unboxed access pair: next_time is an infinity-sentinel peek,
+   pop_exn returns the payload alone. *)
+let test_queue_unboxed_api () =
+  let q = Sim.Event_queue.create () in
+  Alcotest.(check bool)
+    "next_time of empty is infinity" true
+    (Sim.Event_queue.next_time q = infinity);
+  Alcotest.check_raises "pop_exn on empty"
+    (Invalid_argument "Event_queue.pop_exn: empty") (fun () ->
+      ignore (Sim.Event_queue.pop_exn q));
+  Sim.Event_queue.add q ~key:2. ~seq:1 "b";
+  Sim.Event_queue.add q ~key:1. ~seq:2 "a";
+  check_float "next_time is min key" 1. (Sim.Event_queue.next_time q);
+  Alcotest.(check string) "pop_exn min payload" "a" (Sim.Event_queue.pop_exn q);
+  check_float "next_time follows" 2. (Sim.Event_queue.next_time q);
+  Alcotest.(check string) "pop_exn next" "b" (Sim.Event_queue.pop_exn q);
+  Alcotest.(check bool)
+    "drained back to infinity" true
+    (Sim.Event_queue.next_time q = infinity)
+
+let prop_queue_unboxed_agrees_with_boxed =
+  QCheck.Test.make
+    ~name:"next_time/pop_exn drain identically to the boxed pop" ~count:300
+    QCheck.(list (int_bound 20))
+    (fun raw ->
+      let entries = List.mapi (fun i k -> (float_of_int k, i)) raw in
+      let fill () =
+        let q = Sim.Event_queue.create () in
+        List.iter (fun (k, s) -> Sim.Event_queue.add q ~key:k ~seq:s s) entries;
+        q
+      in
+      let boxed =
+        let q = fill () in
+        let rec drain acc =
+          match Sim.Event_queue.pop q with
+          | None -> List.rev acc
+          | Some (k, _, v) -> drain ((k, v) :: acc)
+        in
+        drain []
+      in
+      let unboxed =
+        let q = fill () in
+        let rec drain acc =
+          if Sim.Event_queue.is_empty q then List.rev acc
+          else begin
+            let k = Sim.Event_queue.next_time q in
+            let v = Sim.Event_queue.pop_exn q in
+            drain ((k, v) :: acc)
+          end
+        in
+        drain []
+      in
+      boxed = unboxed)
+
+(* ------------------------------------------------------------------ *)
+(* Ring *)
+
+let test_ring_basic () =
+  let r = Sim.Ring.create () in
+  Alcotest.(check bool) "empty" true (Sim.Ring.is_empty r);
+  Alcotest.(check int) "length" 0 (Sim.Ring.length r);
+  Alcotest.check_raises "pop_exn on empty"
+    (Invalid_argument "Ring.pop_exn: empty") (fun () ->
+      ignore (Sim.Ring.pop_exn r));
+  Alcotest.check_raises "peek_exn on empty"
+    (Invalid_argument "Ring.peek_exn: empty") (fun () ->
+      ignore (Sim.Ring.peek_exn r));
+  for i = 1 to 5 do
+    Sim.Ring.push r i
+  done;
+  Alcotest.(check int) "length 5" 5 (Sim.Ring.length r);
+  Alcotest.(check int) "peek oldest" 1 (Sim.Ring.peek_exn r);
+  Alcotest.(check int) "pop oldest" 1 (Sim.Ring.pop_exn r);
+  Alcotest.(check int) "peek next" 2 (Sim.Ring.peek_exn r);
+  Sim.Ring.clear r;
+  Alcotest.(check bool) "cleared" true (Sim.Ring.is_empty r);
+  (* A cleared ring must be a working ring. *)
+  Sim.Ring.push r 42;
+  Alcotest.(check int) "usable after clear" 42 (Sim.Ring.pop_exn r)
+
+let test_ring_wraparound_growth () =
+  (* Interleave pushes and pops so the live window straddles the end
+     of the backing array when growth happens. *)
+  let r = Sim.Ring.create () in
+  let popped = ref [] in
+  let next = ref 0 in
+  for round = 1 to 50 do
+    for _ = 1 to round do
+      incr next;
+      Sim.Ring.push r !next
+    done;
+    for _ = 1 to round / 2 do
+      popped := Sim.Ring.pop_exn r :: !popped
+    done
+  done;
+  while not (Sim.Ring.is_empty r) do
+    popped := Sim.Ring.pop_exn r :: !popped
+  done;
+  Alcotest.(check (list int))
+    "FIFO across growth and wraparound"
+    (List.init !next (fun i -> i + 1))
+    (List.rev !popped)
+
+(* Model test against the stdlib queue ([Stdlib.Queue] is the reference
+   implementation here in test/; lint rule L6 bans it from the lib/net
+   and lib/sim hot paths that [Sim.Ring] replaced it in). *)
+let prop_ring_matches_stdlib_queue =
+  QCheck.Test.make ~name:"ring behaves exactly like a Stdlib.Queue model"
+    ~count:300
+    (* ops: Some n = push n, None = pop-or-peek on alternating steps *)
+    QCheck.(list (option (int_bound 100)))
+    (fun ops ->
+      let r = Sim.Ring.create () in
+      let model = Queue.create () in
+      let ok = ref true in
+      let step = ref 0 in
+      List.iter
+        (fun op ->
+          incr step;
+          (match op with
+          | Some n ->
+            Sim.Ring.push r n;
+            Queue.push n model
+          | None when !step land 1 = 0 -> (
+            match Queue.take_opt model with
+            | None ->
+              if not (Sim.Ring.is_empty r) then ok := false
+            | Some expected ->
+              if Sim.Ring.pop_exn r <> expected then ok := false)
+          | None -> (
+            match Queue.peek_opt model with
+            | None ->
+              if not (Sim.Ring.is_empty r) then ok := false
+            | Some expected ->
+              if Sim.Ring.peek_exn r <> expected then ok := false));
+          if Sim.Ring.length r <> Queue.length model then ok := false;
+          if Sim.Ring.is_empty r <> Queue.is_empty model then ok := false)
+        ops;
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 (* Engine *)
 
@@ -244,6 +384,50 @@ let test_engine_rejects_bad_times () =
   Alcotest.check_raises "bad period"
     (Invalid_argument "Engine.every: period must be positive") (fun () ->
       ignore (Sim.Engine.every e ~period:0. (fun () -> ())))
+
+(* Regression: [every ?start] used to push the first firing without any
+   validation, so a NaN or in-the-past start silently corrupted the
+   queue where [schedule_at] would have raised. *)
+let test_engine_every_validates_start () =
+  let e = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule e ~delay:1. (fun () -> ()));
+  Sim.Engine.run e;
+  Alcotest.check_raises "start in the past"
+    (Invalid_argument "Engine.every: start in the past") (fun () ->
+      ignore (Sim.Engine.every e ~start:0.5 ~period:1. (fun () -> ())));
+  Alcotest.check_raises "nan start"
+    (Invalid_argument "Engine.every: time not finite") (fun () ->
+      ignore (Sim.Engine.every e ~start:nan ~period:1. (fun () -> ())));
+  Alcotest.check_raises "infinite start"
+    (Invalid_argument "Engine.every: time not finite") (fun () ->
+      ignore (Sim.Engine.every e ~start:infinity ~period:1. (fun () -> ())));
+  Alcotest.check_raises "nan period"
+    (Invalid_argument "Engine.every: time not finite") (fun () ->
+      ignore (Sim.Engine.every e ~period:nan (fun () -> ())));
+  (* A start exactly at the current clock is valid (fires immediately). *)
+  let fired = ref 0 in
+  let h =
+    Sim.Engine.every e ~start:(Sim.Engine.now e) ~period:1. (fun () ->
+        incr fired)
+  in
+  Sim.Engine.run_until e (Sim.Engine.now e +. 1.5);
+  Sim.Engine.cancel h;
+  Alcotest.(check int) "start = now fires at now and now + period" 2 !fired
+
+let test_engine_schedule_unit () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule_unit e ~delay:2. (fun () -> log := "b" :: !log);
+  Sim.Engine.schedule_unit e ~delay:1. (fun () -> log := "a" :: !log);
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule_unit: negative delay") (fun () ->
+      Sim.Engine.schedule_unit e ~delay:(-1.) (fun () -> ()));
+  Alcotest.check_raises "nan delay"
+    (Invalid_argument "Engine.schedule_unit: time not finite") (fun () ->
+      Sim.Engine.schedule_unit e ~delay:nan (fun () -> ()));
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "fires in order" [ "a"; "b" ] (List.rev !log);
+  check_float "clock" 2. (Sim.Engine.now e)
 
 let test_engine_pending () =
   let e = Sim.Engine.create () in
@@ -717,6 +901,15 @@ let () =
           qt prop_queue_preserves_multiset;
           qt prop_queue_matches_sorted_model;
           qt prop_queue_length_tracks_model;
+          Alcotest.test_case "unboxed api" `Quick test_queue_unboxed_api;
+          qt prop_queue_unboxed_agrees_with_boxed;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "basic" `Quick test_ring_basic;
+          Alcotest.test_case "wraparound growth" `Quick
+            test_ring_wraparound_growth;
+          qt prop_ring_matches_stdlib_queue;
         ] );
       ( "engine",
         [
@@ -728,6 +921,9 @@ let () =
           Alcotest.test_case "every with start" `Quick test_engine_every_start;
           Alcotest.test_case "run_until" `Quick test_engine_run_until;
           Alcotest.test_case "rejects bad times" `Quick test_engine_rejects_bad_times;
+          Alcotest.test_case "every validates start" `Quick
+            test_engine_every_validates_start;
+          Alcotest.test_case "schedule_unit" `Quick test_engine_schedule_unit;
           Alcotest.test_case "pending" `Quick test_engine_pending;
           Alcotest.test_case "simultaneous fifo" `Quick test_engine_simultaneous_fifo;
           Alcotest.test_case "reset matches fresh engine" `Quick

@@ -11,6 +11,7 @@ type rule =
   | L3_logging
   | L4_mli_coverage
   | L5_unsafe
+  | L6_hot_queue
   | Parse_error
 
 let rule_name = function
@@ -19,6 +20,7 @@ let rule_name = function
   | L3_logging -> "L3/logging"
   | L4_mli_coverage -> "L4/mli-coverage"
   | L5_unsafe -> "L5/unsafe"
+  | L6_hot_queue -> "L6/hot-queue"
   | Parse_error -> "parse-error"
 
 let waiver_token = function
@@ -27,6 +29,7 @@ let waiver_token = function
   | L3_logging -> Some "logging-ok"
   | L4_mli_coverage -> Some "mli-ok"
   | L5_unsafe -> Some "unsafe-ok"
+  | L6_hot_queue -> Some "queue-ok"
   | Parse_error -> None
 
 type violation = {
@@ -56,6 +59,16 @@ let l1_allowlisted path =
 let pool_allowlisted path =
   String.ends_with ~suffix:"lib/workload/pool.ml" path
   || String.ends_with ~suffix:"lib/workload/pool.mli" path
+
+(* The per-packet hot path: every simulated packet crosses lib/sim and
+   lib/net several times per hop, so rule L6 confines the allocating
+   [Stdlib.Queue] out of them. *)
+let rec hot_components = function
+  | "lib" :: ("sim" | "net") :: _ -> true
+  | _ :: rest -> hot_components rest
+  | [] -> false
+
+let in_hot_path path = hot_components (path_components path)
 
 (* ------------------------------------------------------------------ *)
 (* Rule predicates over flattened identifier paths *)
@@ -109,6 +122,13 @@ let l5_banned_ident = function
     Some "Obj.magic is banned in lib/"
   | [ "Stdlib"; "exit" ] ->
     Some "exit is banned in lib/; raise and let the caller decide"
+  | _ -> None
+
+let l6_banned_ident = function
+  | "Queue" :: _ | "Stdlib" :: "Queue" :: _ ->
+    Some
+      "Stdlib.Queue allocates a cell per push; the lib/sim and lib/net hot \
+       path must use Sim.Ring"
   | _ -> None
 
 (* A bare [exit] is only a violation when it is actually called —
@@ -168,6 +188,7 @@ let is_false_literal (e : Parsetree.expression) =
 type ctx = {
   file : string;
   lib_scope : bool;
+  hot_scope : bool;
   rng_allowlisted : bool;
   pool_allowlisted : bool;
   mutable found : violation list;
@@ -194,14 +215,18 @@ let check_ident ctx (loc : Location.t) path =
      match l1_parallel_ident path with
      | Some msg -> add ctx L1_determinism loc msg
      | None -> ());
-  if ctx.lib_scope then begin
-    (match l3_banned_ident path with
-    | Some msg -> add ctx L3_logging loc msg
-    | None -> ());
-    match l5_banned_ident path with
-    | Some msg -> add ctx L5_unsafe loc msg
+  (if ctx.lib_scope then begin
+     (match l3_banned_ident path with
+     | Some msg -> add ctx L3_logging loc msg
+     | None -> ());
+     match l5_banned_ident path with
+     | Some msg -> add ctx L5_unsafe loc msg
+     | None -> ()
+   end);
+  if ctx.hot_scope then
+    match l6_banned_ident path with
+    | Some msg -> add ctx L6_hot_queue loc msg
     | None -> ()
-  end
 
 let is_hashtbl_create = function
   | [ "Hashtbl"; "create" ] | [ "Stdlib"; "Hashtbl"; "create" ] -> true
@@ -250,6 +275,10 @@ let iterator ctx =
       (if not ctx.pool_allowlisted then
          match l1_parallel_ident path with
          | Some msg -> add ctx L1_determinism loc msg
+         | None -> ());
+      (if ctx.hot_scope then
+         match l6_banned_ident path with
+         | Some msg -> add ctx L6_hot_queue loc msg
          | None -> ())
     | _ -> ());
     default_iterator.module_expr it m
@@ -308,6 +337,7 @@ let lint_file path =
       {
         file = path;
         lib_scope = in_lib path;
+        hot_scope = in_hot_path path;
         rng_allowlisted = l1_allowlisted path;
         pool_allowlisted = pool_allowlisted path;
         found = [];

@@ -30,6 +30,11 @@
       [exit] identifier is allowed — it is also a fine variable name
       (e.g. a flow's exit core) and cannot be told apart without
       types.
+    - {b L6 hot-path queues}: [Stdlib.Queue] is banned inside
+      [lib/sim] and [lib/net] — the per-packet hot path — because
+      every [Queue.push] allocates a cons cell. Use the growable ring
+      buffer [Sim.Ring], whose steady-state push/pop allocate nothing.
+      Other libraries (setup/reporting code) may still use [Queue].
 
     A violation on line [n] is waived when line [n] or [n - 1] carries
     a comment containing [lint: <token>] with the rule's waiver token
@@ -42,6 +47,7 @@ type rule =
   | L3_logging
   | L4_mli_coverage
   | L5_unsafe
+  | L6_hot_queue
   | Parse_error  (** a file that does not parse; never waivable *)
 
 (** Short machine-readable identifier, e.g. ["L1/determinism"]. *)
