@@ -1,0 +1,143 @@
+(* Chaos battery harness: Corelite robustness under deterministic fault
+   injection.
+
+   Runs the Workload.Chaos battery twice — serially and sharded across
+   domains through Workload.Pool — and checks two acceptance gates:
+
+   - determinism: the pooled run's CSV payload is byte-identical to the
+     serial one (and, because every fault draw descends from
+     (fault_seed, point label), so is any rerun with the same seeds);
+   - graceful degradation: at 10% uniform marker loss the weighted Jain
+     index keeps at least 90% of its loss-free value.
+
+   Writes a machine-readable report to results/BENCH_chaos.json and
+   exits non-zero if either gate fails, so CI uses it as a smoke test:
+
+     dune exec bench/chaos_bench.exe -- --quick -j 2
+
+   The report deliberately contains no wall-clock times or machine
+   facts: two runs with the same flags must produce byte-identical
+   reports, which the CI chaos-smoke job checks with cmp. *)
+
+let domains = ref (Workload.Pool.default_domains ())
+
+let quick = ref false
+
+let seed = ref 42
+
+let fault_seed = ref Workload.Chaos.default_fault_seed
+
+let out_path = ref (Filename.concat "results" "BENCH_chaos.json")
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_report ~groups ~deterministic ~jain_free ~jain_lossy ~degradation_ok =
+  let oc = open_out !out_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"harness\": \"bench/chaos_bench.ml\",\n";
+  p "  \"mode\": \"%s\",\n" (if !quick then "quick" else "full");
+  p "  \"seed\": %d,\n" !seed;
+  p "  \"fault_seed\": %d,\n" !fault_seed;
+  p "  \"groups\": [\n";
+  let n_groups = List.length groups in
+  List.iteri
+    (fun gi (name, points) ->
+      p "    {\"name\": \"%s\", \"points\": [\n" (escape name);
+      let n = List.length points in
+      List.iteri
+        (fun i (pt : Workload.Chaos.point) ->
+          p "      {\"label\": \"%s\", \"level\": %g, \"jain\": %.6f, \
+             \"goodput\": %.3f, \"core_drops\": %d, \"injected_drops\": %d, \
+             \"stripped_markers\": %d, \"lost_feedback\": %d, \"flaps\": %d, \
+             \"feedback\": %d}%s\n"
+            (escape pt.Workload.Chaos.label)
+            pt.Workload.Chaos.level pt.Workload.Chaos.jain pt.Workload.Chaos.goodput
+            pt.Workload.Chaos.core_drops pt.Workload.Chaos.injected_drops
+            pt.Workload.Chaos.stripped_markers pt.Workload.Chaos.lost_feedback
+            pt.Workload.Chaos.flaps pt.Workload.Chaos.feedback
+            (if i = n - 1 then "" else ","))
+        points;
+      p "    ]}%s\n" (if gi = n_groups - 1 then "" else ","))
+    groups;
+  p "  ],\n";
+  p "  \"jain_loss_free\": %.6f,\n" jain_free;
+  p "  \"jain_at_10pct_marker_loss\": %.6f,\n" jain_lossy;
+  p "  \"degradation_ok\": %b,\n" degradation_ok;
+  p "  \"deterministic\": %b\n" deterministic;
+  p "}\n";
+  close_out oc
+
+let find_marker_loss_jain groups level =
+  match List.assoc_opt "marker loss" groups with
+  | None -> nan
+  | Some points -> (
+    match
+      List.find_opt
+        (fun (pt : Workload.Chaos.point) ->
+          Sim.Floats.near ~tolerance:1e-9 pt.Workload.Chaos.level level)
+        points
+    with
+    | Some pt -> pt.Workload.Chaos.jain
+    | None -> nan)
+
+let () =
+  Arg.parse
+    [
+      ("-j", Arg.Set_int domains, "N  shard the parallel pass over N domains");
+      ("--domains", Arg.Set_int domains, "N  same as -j");
+      ("--quick", Arg.Set quick, "  32 s runs instead of 80 s (CI smoke test)");
+      ("--seed", Arg.Set_int seed, "N  workload seed (default 42)");
+      ( "--fault-seed",
+        Arg.Set_int fault_seed,
+        "N  fault-plan seed; same seed replays every fault draw (default 271828)" );
+      ( "--out",
+        Arg.Set_string out_path,
+        "PATH  report path (default results/BENCH_chaos.json)" );
+    ]
+    (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
+    "chaos_bench.exe [-j N] [--quick] [--seed N] [--fault-seed N] [--out PATH]";
+  let serial =
+    Workload.Chaos.all ~seed:!seed ~quick:!quick ~fault_seed:!fault_seed ()
+  in
+  let parallel =
+    Workload.Chaos.all_parallel ~domains:!domains ~seed:!seed ~quick:!quick
+      ~fault_seed:!fault_seed ()
+  in
+  let serial_csv = Workload.Chaos.csv_of_groups serial in
+  let parallel_csv = Workload.Chaos.csv_of_groups parallel in
+  let deterministic = String.equal serial_csv parallel_csv in
+  let jain_free = find_marker_loss_jain serial 0. in
+  let jain_lossy = find_marker_loss_jain serial 0.1 in
+  let degradation_ok =
+    Float.is_finite jain_free
+    && Float.is_finite jain_lossy
+    && jain_lossy >= 0.9 *. jain_free
+  in
+  write_report ~groups:serial ~deterministic ~jain_free ~jain_lossy ~degradation_ok;
+  List.iter (fun g -> Format.printf "%a@." Workload.Chaos.pp_points g) serial;
+  Printf.printf
+    "jain loss-free %.4f  at 10%% marker loss %.4f (ratio %.3f, gate 0.9)\n"
+    jain_free jain_lossy
+    (jain_lossy /. Float.max 1e-9 jain_free);
+  Printf.printf "deterministic(serial = %d domains) %b\n" !domains deterministic;
+  Printf.printf "report: %s\n" !out_path;
+  if not deterministic then begin
+    prerr_endline "chaos_bench: PARALLEL RUN DIVERGED FROM SERIAL";
+    exit 1
+  end;
+  if not degradation_ok then begin
+    prerr_endline "chaos_bench: FAIRNESS DEGRADED BEYOND THE 0.9 GATE";
+    exit 1
+  end

@@ -5,6 +5,8 @@
    - the restart-recovery comparison behind the Figures 9/10 discussion;
    - the Section 4.4 sensitivity sweeps and the ablations;
    - a pooled scenario battery exercising the per-scenario RNG streams;
+   - the chaos battery (robustness extension): marker loss, bursty
+     loss, link flaps and router resets, replayable with --fault-seed;
    - the TCP-aggregation extension.
 
    Every scenario is submitted through Workload.Pool, so the suite
@@ -17,6 +19,8 @@
 let results_dir = "results"
 
 let domains = ref (Workload.Pool.default_domains ())
+
+let fault_seed = ref Workload.Chaos.default_fault_seed
 
 let hr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -157,6 +161,28 @@ let scenario_battery () =
         jain drops events)
     scenarios results
 
+(* The chaos battery: the Figure 5 workload under injected faults
+   (marker loss, Gilbert-Elliott bursty loss, link flaps, router
+   resets) with edge soft-state recovery armed. Every fault draw
+   descends from (--fault-seed, point label), so a chaos run replays
+   byte-identically from the flags alone; the CSV goes to results/ for
+   comparison across runs. *)
+let chaos () =
+  hr (Printf.sprintf "Chaos battery (robustness; fault seed %d)" !fault_seed);
+  let groups =
+    Workload.Chaos.all_parallel ~domains:!domains ~fault_seed:!fault_seed ()
+  in
+  List.iter
+    (fun named ->
+      Workload.Chaos.pp_points Format.std_formatter named;
+      Format.print_newline ())
+    groups;
+  let path = Filename.concat results_dir "chaos_battery.csv" in
+  let oc = open_out path in
+  output_string oc (Workload.Chaos.csv_of_groups groups);
+  close_out oc;
+  Printf.printf "chaos CSV written to %s\n" path
+
 let tcp_extension () =
   hr "Extension: TCP micro-flows in shaped aggregates";
   let engine = Sim.Engine.create () in
@@ -194,13 +220,19 @@ let () =
       ( "--domains",
         Arg.Set_int domains,
         "N  same as -j" );
+      ( "--fault-seed",
+        Arg.Set_int fault_seed,
+        "N  root seed of the chaos battery's fault plans; rerunning with \
+         the same seed replays every fault draw byte-identically \
+         (default 271828)" );
     ]
     (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
-    "experiments.exe [-j N]";
+    "experiments.exe [-j N] [--fault-seed N]";
   Printf.printf "Corelite reproduction: full experiment suite\n";
   figures ();
   restart_recovery ();
   queue_dynamics ();
   sweeps ();
   scenario_battery ();
+  chaos ();
   tcp_extension ()

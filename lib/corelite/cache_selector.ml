@@ -16,6 +16,15 @@ let observe t marker =
 
 let occupancy t = t.filled
 
+(* Router-reset support: wipe the cache. With [filled = 0] every
+   subsequent [select_iter] returns no markers (and consumes no draws),
+   so a freshly reset core cannot emit a feedback burst from stale
+   entries. *)
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.next <- 0;
+  t.filled <- 0
+
 (* The RNG draw order — one bernoulli for the fractional part, then
    [count] uniform draws in increasing order — is the published stream
    contract: [select] consumed it through [List.init] (which evaluates
@@ -27,6 +36,7 @@ let select_iter t ~fn f =
   else begin
     let whole = int_of_float fn in
     let frac = fn -. float_of_int whole in
+    (* lint: fault-ok -- the paper's probabilistic rounding, not loss *)
     let count = whole + (if Sim.Rng.bernoulli t.rng frac then 1 else 0) in
     for _ = 1 to count do
       match t.slots.(Sim.Rng.int t.rng t.filled) with

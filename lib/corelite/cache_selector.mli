@@ -29,3 +29,9 @@ val select_iter : t -> fn:float -> (Net.Packet.marker -> unit) -> int
 
 (** Markers currently cached. *)
 val occupancy : t -> int
+
+(** Router-reset support: wipe the cache. With an empty cache every
+    subsequent selection returns no markers (and consumes no RNG
+    draws), so a freshly reset core cannot emit a feedback burst from
+    stale entries. *)
+val clear : t -> unit

@@ -27,9 +27,27 @@ let make spec =
   in
   { spec; smoothed }
 
+(* The qavg input is computed from accumulated router soft state, which
+   faults can corrupt (a reset mid-window, a pathological estimator
+   update). Rather than let a NaN or negative average poison the
+   feedback budget — and through it every edge rate downstream — clamp
+   it to the harmless 0 here, and in debug builds (invariant auditing
+   on) fail loudly instead so the corruption is found at its source. *)
+let sanitize_qavg qavg =
+  if Float.is_finite qavg && qavg >= 0. then qavg
+  else begin
+    if Sim.Invariant.default () then
+      Sim.Invariant.requiref
+        ~what:(fun () ->
+          Printf.sprintf "Congestion.budget: qavg %h is not finite and non-negative"
+            qavg)
+        false;
+    0.
+  end
+
 let budget t ~mu ~qavg ~qthresh =
-  if mu < 0. || qavg < 0. || qthresh < 0. then
-    invalid_arg "Congestion.budget: negative input";
+  if mu < 0. || qthresh < 0. then invalid_arg "Congestion.budget: negative input";
+  let qavg = sanitize_qavg qavg in
   match (t.spec, t.smoothed) with
   | Mm1_cubic k, _ -> markers_needed ~mu ~qavg ~qthresh ~k
   | Linear_excess gain, _ -> Float.max 0. (gain *. (qavg -. qthresh))
@@ -37,3 +55,7 @@ let budget t ~mu ~qavg ~qthresh =
     Sim.Stats.Ewma.update smoothed qavg;
     Float.max 0. (scale *. (Sim.Stats.Ewma.value smoothed -. qthresh))
   | Ewma_threshold _, None -> assert false
+
+(* Router-reset support: drop the smoothed-queue history (the only soft
+   state an estimator carries). *)
+let reset t = match t.smoothed with Some s -> Sim.Stats.Ewma.reset s | None -> ()

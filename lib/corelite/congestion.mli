@@ -37,8 +37,18 @@ val make : spec -> t
 
 (** [budget t ~mu ~qavg ~qthresh] is the number of feedback markers for
     the epoch that just ended; [0.] when not congested.
-    @raise Invalid_argument on negative inputs. *)
+
+    [qavg] comes from accumulated router soft state that faults can
+    corrupt, so a non-finite or negative value is clamped to [0.]
+    (uncongested) rather than propagated into edge rates — except in
+    debug builds ({!Sim.Invariant.default} on), where it raises
+    {!Sim.Invariant.Violation} so the corruption is found at its source.
+    @raise Invalid_argument on negative [mu] or [qthresh]. *)
 val budget : t -> mu:float -> qavg:float -> qthresh:float -> float
+
+(** Router-reset support: forget the smoothed-queue history (only the
+    [Ewma_threshold] variant carries any). *)
+val reset : t -> unit
 
 (** The paper's closed-form budget (exposed for tests and docs). *)
 val markers_needed : mu:float -> qavg:float -> qthresh:float -> k:float -> float

@@ -100,6 +100,27 @@ let on_epoch t engine () =
     end
   | Stateless sel -> Stateless_selector.on_epoch sel ~fn
 
+(* Router reset: wipe every piece of soft state the core logic keeps —
+   the marker cache (or stateless running averages and selection
+   probability), the estimator's smoothed history, and the queue
+   average accumulating for the current epoch. The epoch timer keeps
+   ticking (it models the router's clock, not its RAM); with the
+   selector emptied the next epochs rebuild qavg and the budget from
+   zero without emitting a feedback burst. The caller resets the
+   underlying link's buffers separately ({!Net.Link.reset}) if the
+   reset is meant to lose queued packets too. *)
+let reset t =
+  (match t.selector with
+  | Cache cache -> Cache_selector.clear cache
+  | Stateless sel -> Stateless_selector.reset sel);
+  Congestion.reset t.estimator;
+  let now = Sim.Engine.now t.link.Net.Link.engine in
+  Sim.Stats.Time_weighted.set t.qlen ~now
+    (float_of_int (Net.Link.queue_length t.link));
+  Sim.Stats.Time_weighted.reset t.qlen ~now;
+  t.last_qavg <- 0.;
+  t.last_fn <- 0.
+
 let attach ?check_invariants ~params ~rng ~send_feedback link =
   let check =
     match check_invariants with Some b -> b | None -> Sim.Invariant.default ()

@@ -43,5 +43,15 @@ val congested_epochs : t -> int
 (** Markers observed in total. *)
 val markers_seen : t -> int
 
+(** Router reset: wipe the core's soft state — selector cache or
+    stateless averages, estimator history, and the queue average
+    accumulating for the current epoch — as a crash/reboot would. The
+    epoch timer keeps ticking (it models the router's clock, not its
+    RAM); subsequent epochs rebuild [qavg] and the feedback budget from
+    zero, and the emptied selector guarantees no feedback burst from
+    stale state. Pair with {!Net.Link.reset} when the reset should also
+    lose the packets buffered at the router. *)
+val reset : t -> unit
+
 (** Stop the epoch timer and remove the link hooks. *)
 val detach : t -> unit

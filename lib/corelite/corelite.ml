@@ -26,7 +26,7 @@
     {[
       let deployment =
         Corelite.Deployment.build ~params:Corelite.Params.default
-          ~rng ~topology ~flows ~core_links
+          ~rng ~topology ~flows ~core_links ()
       in
       Corelite.Deployment.start_all deployment;
       Sim.Engine.run_until engine 100.

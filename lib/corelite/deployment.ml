@@ -13,7 +13,7 @@ type t = {
 (* Wire core-router logic for a set of pre-built agents: feedback
    selected at a core link travels back to the generating edge with the
    reverse-path propagation delay, then lands in the flow's agent. *)
-let of_agents ~params ~rng ~topology ~agents ~core_links =
+let of_agents ?fault ~params ~rng ~topology ~agents ~core_links () =
   (* Feedback latency per (link, flow), precomputed from the paths. *)
   let delays : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
   Hashtbl.iter
@@ -43,24 +43,35 @@ let of_agents ~params ~rng ~topology ~agents ~core_links =
     List.map
       (fun link ->
         let send_feedback marker =
-          let flow_id = marker.Net.Packet.flow_id in
-          match Hashtbl.find_opt agents flow_id with
-          | None -> ()
-          | Some agent ->
-            let delay =
-              Option.value ~default:0.
-                (Hashtbl.find_opt delays (link.Net.Link.id, flow_id))
-            in
-            ignore
-              (Sim.Engine.schedule engine ~delay (fun () ->
-                   Edge.receive_feedback agent ~link_id:link.Net.Link.id marker))
+          (* Feedback markers travel the reverse path as control-plane
+             callbacks, not packets, so link loss cannot touch them;
+             the fault injector's per-link feedback channel models
+             their loss instead. The draw happens at send time (not
+             delivery), matching a marker corrupted on the wire. *)
+          let lost =
+            match fault with
+            | Some f -> Net.Fault.feedback_lost f link
+            | None -> false
+          in
+          if not lost then
+            let flow_id = marker.Net.Packet.flow_id in
+            match Hashtbl.find_opt agents flow_id with
+            | None -> ()
+            | Some agent ->
+              let delay =
+                Option.value ~default:0.
+                  (Hashtbl.find_opt delays (link.Net.Link.id, flow_id))
+              in
+              ignore
+                (Sim.Engine.schedule engine ~delay (fun () ->
+                     Edge.receive_feedback agent ~link_id:link.Net.Link.id marker))
         in
         Core.attach ~params ~rng:(Sim.Rng.split rng) ~send_feedback link)
       core_links
   in
   { topology; agents; cores; core_links; drops_by_flow }
 
-let build ~params ~rng ~topology ~flows ~core_links =
+let build ?fault ~params ~rng ~topology ~flows ~core_links () =
   let agents = Hashtbl.create 32 in
   let epoch = params.Params.source.Net.Source.epoch in
   List.iter
@@ -73,7 +84,7 @@ let build ~params ~rng ~topology ~flows ~core_links =
       let epoch_offset = Sim.Rng.float rng epoch in
       Hashtbl.add agents id (Edge.create ~params ~topology ~flow ~floor ~epoch_offset ()))
     flows;
-  of_agents ~params ~rng ~topology ~agents ~core_links
+  of_agents ?fault ~params ~rng ~topology ~agents ~core_links ()
 
 let agent t id =
   match Hashtbl.find_opt t.agents id with
@@ -101,3 +112,37 @@ let total_drops t =
   List.fold_left (fun acc link -> acc + link.Net.Link.drops) 0 t.core_links
 
 let drops_of_flow t id = Option.value ~default:0 (Hashtbl.find_opt t.drops_by_flow id)
+
+(* Router resets are scheme state, so the deployment (not Net.Fault)
+   interprets them: a core reset loses both the router's packet buffers
+   (Link.reset) and its Corelite soft state (Core.reset); an edge reset
+   wipes the agent's bg(f) table and restarts its adaptation. Targets
+   are validated at schedule time so a typo in a plan fails the run
+   immediately rather than silently resetting nothing. *)
+let schedule_resets t plan =
+  let engine = Net.Topology.engine t.topology in
+  List.iter
+    (fun { Sim.Faultplan.reset_target; at } ->
+      let fire =
+        match reset_target with
+        | Sim.Faultplan.Core_router name -> (
+          match
+            List.find_opt
+              (fun core -> String.equal (Core.link core).Net.Link.name name)
+              t.cores
+          with
+          | None ->
+            invalid_arg ("Deployment.schedule_resets: no core on link " ^ name)
+          | Some core ->
+            fun () ->
+              Net.Link.reset (Core.link core);
+              Core.reset core)
+        | Sim.Faultplan.Edge_agent id -> (
+          match Hashtbl.find_opt t.agents id with
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Deployment.schedule_resets: no agent for flow %d" id)
+          | Some agent -> fun () -> Edge.reset agent)
+      in
+      ignore (Sim.Engine.schedule_at engine ~time:at fire))
+    plan.Sim.Faultplan.resets

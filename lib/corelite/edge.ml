@@ -132,6 +132,17 @@ let start t =
    working; only the source stops. *)
 let stop t = Net.Source.stop (source t)
 
+(* Edge-router reset: the bg(f) table, the per-link feedback counters
+   and the marker spacing phase live in edge RAM and are lost. A
+   running agent restarts its source, which begins a fresh adaptation
+   lifetime (slow-start from the initial rate) — the paper's soft-state
+   property: nothing needs to be resynchronized, the control loop
+   simply relearns the rate. A stopped agent just loses the counters. *)
+let reset t =
+  Hashtbl.reset t.feedback_by_link;
+  t.data_since_marker <- 0;
+  if running t then Net.Source.start (source t)
+
 let set_backlogged t backlogged = Net.Source.set_active (source t) backlogged
 
 let receive_feedback t ~link_id _marker =

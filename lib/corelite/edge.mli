@@ -47,6 +47,14 @@ val start : t -> unit
     reach the sink and the agent can be restarted. *)
 val stop : t -> unit
 
+(** Edge-router reset: lose the soft state in edge RAM — the adapted
+    rate [bg(f)], the per-link feedback counters and the marker spacing
+    phase. A running agent restarts its source from the initial rate
+    (fresh slow-start); a stopped one just forgets the counters. The
+    soft-state recovery the paper's design implies: no resynchronization
+    protocol, the control loop relearns the rate. *)
+val reset : t -> unit
+
 (** Application backlog control for bursty sources (see
     {!Net.Source.set_active}). *)
 val set_backlogged : t -> bool -> unit

@@ -34,6 +34,7 @@ let observe t marker =
     let eligible = marker.Net.Packet.normalized_rate >= rav t in
     let selections =
       int_of_float t.pw
+      (* lint: fault-ok -- the paper's probabilistic rounding, not loss *)
       + (if Sim.Rng.bernoulli t.rng (t.pw -. Float.of_int (int_of_float t.pw)) then 1 else 0)
     in
     if selections > 0 then
@@ -49,6 +50,17 @@ let observe t marker =
     end
     else 0
   end
+
+(* Router-reset support: back to the just-created state. With [pw = 0]
+   and an uninitialized running average, a freshly reset core selects
+   nothing until [on_epoch] rebuilds a budget from new observations —
+   no feedback burst from stale soft state. *)
+let reset t =
+  Sim.Stats.Ewma.reset t.rav;
+  Sim.Stats.Ewma.reset t.wav;
+  t.pw <- 0.;
+  t.deficit <- 0;
+  t.epoch_markers <- 0
 
 let on_epoch t ~fn =
   if fn < 0. then invalid_arg "Stateless_selector.on_epoch: negative budget";

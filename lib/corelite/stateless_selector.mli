@@ -45,3 +45,9 @@ val pw : t -> float
 
 (** Current deficit counter (observable for tests). *)
 val deficit : t -> int
+
+(** Router-reset support: back to the just-created state ([pw = 0],
+    uninitialized averages, zero deficit). A freshly reset core selects
+    nothing until {!on_epoch} rebuilds a budget from new observations —
+    no feedback burst from stale soft state. *)
+val reset : t -> unit

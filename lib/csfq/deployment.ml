@@ -54,7 +54,9 @@ let build ?(attach_cores = true) ~params ~rng ~topology ~flows ~core_links () =
                 (1 + Option.value ~default:0 (Hashtbl.find_opt drops_by_flow flow));
               (match (reason, core) with
               | Net.Link.Queue_full, Some core -> Core.note_overflow core
-              | (Net.Link.Queue_full | Net.Link.Filtered), _ -> ());
+              | ( ( Net.Link.Queue_full | Net.Link.Filtered | Net.Link.Injected
+                  | Net.Link.Down ),
+                  _ ) -> ());
               match Hashtbl.find_opt agents pkt.Net.Packet.flow with
               | None -> ()
               | Some agent ->

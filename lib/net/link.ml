@@ -1,6 +1,8 @@
 type verdict = Pass | Drop
 
-type drop_reason = Filtered | Queue_full
+type drop_reason = Filtered | Queue_full | Injected | Down
+
+type fault_action = Forward | Lose | Strip
 
 type hooks = {
   on_arrival : Packet.t -> verdict;
@@ -14,7 +16,14 @@ type hooks = {
    allocations where it used to cost two fresh closures plus two
    cancellation handles per packet. Propagation delay is constant per
    link, so in-flight packets leave the wire in FIFO order and one ring
-   suffices. *)
+   suffices.
+
+   Outages and router resets invalidate events already in the heap
+   (a tx-done for a purged transmission, deliveries for a cleared
+   wire). [schedule_unit] events cannot be cancelled, so the closures
+   are generation-guarded: [purge] bumps [generation] and re-arms them,
+   turning every stale event into a no-op while costing nothing on the
+   per-packet path. *)
 type t = {
   id : int;
   name : string;
@@ -29,6 +38,9 @@ type t = {
   wire : Packet.t Sim.Ring.t;
   mutable tx_done_ev : unit -> unit;
   mutable deliver_ev : unit -> unit;
+  mutable up : bool;
+  mutable generation : int;
+  mutable fault : (Packet.t -> fault_action) option;
   mutable hooks : hooks option;
   mutable on_drop : (drop_reason -> Packet.t -> unit) option;
   mutable deliver : Packet.t -> unit;
@@ -42,6 +54,8 @@ type t = {
 let capacity_pps t = t.bandwidth /. float_of_int (8 * Packet.default_size)
 
 let queue_length t = t.qdisc.Qdisc.length ()
+
+let is_up t = t.up
 
 let notify_queue_change t =
   match t.hooks with
@@ -91,8 +105,63 @@ and tx_done t =
 
 let deliver_head t = t.deliver (Sim.Ring.pop_exn t.wire)
 
+(* (Re-)install the generation-guarded event closures. Events pushed
+   under an older generation find the guard false and die silently. *)
+let arm t =
+  let gen = t.generation in
+  t.tx_done_ev <- (fun () -> if t.generation = gen then tx_done t);
+  t.deliver_ev <- (fun () -> if t.generation = gen then deliver_head t)
+
+(* Lose every packet this link currently holds — the in-service one,
+   the queue, and everything in flight on the wire — counting each as a
+   drop so conservation still balances, then invalidate the stale
+   heap events. Shared by link-down and router-reset paths. *)
+let purge t reason =
+  if t.busy then begin
+    t.busy <- false;
+    drop t reason t.in_service
+  end;
+  let rec drain () =
+    match t.qdisc.Qdisc.dequeue () with
+    | Some pkt ->
+      drop t reason pkt;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  while not (Sim.Ring.is_empty t.wire) do
+    (* In-flight packets were counted as departures at tx-done; they
+       never reach the far end, so reclassify them as drops to keep
+       per-link conservation balanced. *)
+    t.departures <- t.departures - 1;
+    drop t reason (Sim.Ring.pop_exn t.wire)
+  done;
+  (* Release the ring's storage too: a reset must not pin a previous
+     epoch's packets alive (see Sim.Ring.clear). *)
+  Sim.Ring.clear t.wire;
+  t.generation <- t.generation + 1;
+  arm t;
+  notify_queue_change t;
+  if t.check then check_conservation t
+
+let set_up t up =
+  if up <> t.up then begin
+    t.up <- up;
+    if up then begin
+      if not t.busy then start_transmission t
+    end
+    else purge t Down
+  end
+
+let reset t = purge t Down
+
+let set_fault t f = t.fault <- f
+
 let create ?check_invariants ~engine ~id ~name ~src ~dst ~bandwidth ~delay ~qdisc () =
+  if not (Float.is_finite bandwidth) then
+    invalid_arg "Link.create: bandwidth must be finite";
   if bandwidth <= 0. then invalid_arg "Link.create: bandwidth must be positive";
+  if not (Float.is_finite delay) then invalid_arg "Link.create: delay must be finite";
   if delay < 0. then invalid_arg "Link.create: negative delay";
   let check =
     match check_invariants with Some b -> b | None -> Sim.Invariant.default ()
@@ -115,6 +184,9 @@ let create ?check_invariants ~engine ~id ~name ~src ~dst ~bandwidth ~delay ~qdis
       wire = Sim.Ring.create ();
       tx_done_ev = ignore;
       deliver_ev = ignore;
+      up = true;
+      generation = 0;
+      fault = None;
       hooks = None;
       on_drop = None;
       deliver = (fun _ -> failwith ("Link " ^ name ^ ": deliver not wired"));
@@ -125,14 +197,32 @@ let create ?check_invariants ~engine ~id ~name ~src ~dst ~bandwidth ~delay ~qdis
       check;
     }
   in
-  t.tx_done_ev <- (fun () -> tx_done t);
-  t.deliver_ev <- (fun () -> deliver_head t);
+  arm t;
   t
 
 let send t pkt =
   t.arrivals <- t.arrivals + 1;
-  (match t.hooks with Some h -> h.on_arrival pkt | None -> Pass)
-  |> (function
+  (if not t.up then drop t Down pkt
+   else
+     let admitted =
+       (* Fault injection runs before the router's admission hooks:
+          a packet lost (or a marker corrupted) on the upstream wire is
+          never observed by the core logic attached to this link. *)
+       match t.fault with
+       | None -> true
+       | Some f -> (
+         match f pkt with
+         | Forward -> true
+         | Strip ->
+           pkt.Packet.marker <- None;
+           true
+         | Lose ->
+           drop t Injected pkt;
+           false)
+     in
+     if admitted then
+       (match t.hooks with Some h -> h.on_arrival pkt | None -> Pass)
+       |> function
        | Drop -> drop t Filtered pkt
        | Pass -> (
          match t.qdisc.Qdisc.enqueue pkt with

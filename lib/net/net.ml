@@ -22,6 +22,10 @@ module Qdisc = Qdisc
 (** Unidirectional store-and-forward links with scheme hooks. *)
 module Link = Link
 
+(** Deterministic fault injection: interprets {!Sim.Faultplan} plans
+    (loss, marker corruption, flaps) on a wired topology. *)
+module Fault = Fault
+
 (** Forwarding nodes (edge and core routers). *)
 module Node = Node
 

@@ -114,6 +114,7 @@ module Red_state = struct
       let pb = t.p.max_p *. (t.avg -. t.p.min_thresh) /. (t.p.max_thresh -. t.p.min_thresh) in
       let denom = 1. -. (float_of_int t.count *. pb) in
       let pa = if denom <= 0. then 1. else pb /. denom in
+      (* lint: fault-ok -- RED's own early-drop coin, not fault injection *)
       if Sim.Rng.bernoulli rng pa then begin
         t.count <- 0;
         true
@@ -286,7 +287,10 @@ let drr ~weight ?(quantum_unit = Packet.default_size) ~capacity () =
   let total_bytes = ref 0 in
   let quantum flow =
     let w = weight flow in
-    if w <= 0. then invalid_arg "Qdisc.drr: weight must be positive";
+    if not (Float.is_finite w) || w <= 0. then
+      invalid_arg
+        (Printf.sprintf "Qdisc.drr: weight of flow %d must be finite and positive (got %h)"
+           flow w);
     Stdlib.max 1 (int_of_float (w *. float_of_int quantum_unit))
   in
   let retire flow =

@@ -7,6 +7,8 @@ type params = {
   ss_thresh : float;
   ss_period : float;
   floor : float;
+  silence_epochs : int;
+  restore : float;
 }
 
 let default_params =
@@ -19,6 +21,8 @@ let default_params =
     ss_thresh = 32.;
     ss_period = 1.;
     floor = 0.;
+    silence_epochs = 0;
+    restore = 2.;
   }
 
 type phase = Slow_start | Linear
@@ -31,6 +35,7 @@ type t = {
   collect : unit -> int;
   mutable rate : float;
   mutable phase : phase;
+  mutable silent : int;  (* consecutive feedback-free epochs (Linear) *)
   mutable running : bool;
   mutable active : bool;  (* application has data to send *)
   mutable emitted : int;
@@ -67,6 +72,12 @@ let pace t =
 let create ~engine ?(epoch_offset = 0.) ~params ~emit ~collect () =
   if params.initial_rate <= 0. then invalid_arg "Source.create: initial_rate";
   if params.epoch <= 0. then invalid_arg "Source.create: epoch";
+  if params.silence_epochs < 0 then
+    invalid_arg "Source.create: silence_epochs must be non-negative";
+  if
+    params.silence_epochs > 0
+    && not (Float.is_finite params.restore && params.restore > 1.)
+  then invalid_arg "Source.create: restore must be a finite factor > 1";
   if epoch_offset < 0. || epoch_offset >= params.epoch then
     invalid_arg "Source.create: epoch_offset out of [0, epoch)";
   let t =
@@ -78,6 +89,7 @@ let create ~engine ?(epoch_offset = 0.) ~params ~emit ~collect () =
       collect;
       rate = params.initial_rate;
       phase = Slow_start;
+      silent = 0;
       running = false;
       active = true;
       emitted = 0;
@@ -128,9 +140,26 @@ let on_epoch t () =
          the agent relies on epoch collection only, so honor it. *)
       if m > 0 then exit_slow_start t
     | Linear ->
-      if m = 0 then t.rate <- t.rate +. t.params.alpha
-      else
+      if m = 0 then begin
+        t.silent <- t.silent + 1;
+        (* Feedback-silence recovery (robustness extension, off by
+           default): after [silence_epochs] feedback-free epochs the
+           additive probe turns multiplicative. A long silence after
+           sustained throttling usually means the feedback channel
+           itself failed (marker loss, a core reset) and the flow is
+           parked far below its share — restoring at [+alpha] per epoch
+           would take minutes of simulated time that slow-start covered
+           in seconds. Ordinary uncongested operation is unaffected:
+           feedback arrives well before the threshold and resets the
+           count. *)
+        if t.params.silence_epochs > 0 && t.silent >= t.params.silence_epochs then
+          t.rate <- t.rate *. t.params.restore
+        else t.rate <- t.rate +. t.params.alpha
+      end
+      else begin
+        t.silent <- 0;
         t.rate <- Float.max (rate_floor t) (t.rate -. (t.params.beta *. float_of_int m))
+      end
 
 let on_ss_tick t () =
   if t.phase = Slow_start then begin
@@ -158,6 +187,7 @@ let start t =
   (* A contracted floor is reserved capacity: the flow starts there. *)
   t.rate <- Float.max t.params.initial_rate t.params.floor;
   t.phase <- (if t.rate >= t.params.ss_thresh then Linear else Slow_start);
+  t.silent <- 0;
   t.running <- true;
   let now = Sim.Engine.now t.engine in
   t.epoch_timer <-

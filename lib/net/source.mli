@@ -26,6 +26,19 @@ type params = {
   ss_thresh : float;  (** slow-start exit rate, pkts/s *)
   ss_period : float;  (** slow-start doubling period, seconds *)
   floor : float;  (** contracted minimum rate (extension); [0.] = none *)
+  silence_epochs : int;
+      (** feedback-silence recovery (robustness extension): after this
+          many consecutive feedback-free linear epochs, switch the
+          additive [+alpha] probe to multiplying by [restore] until
+          feedback resumes. A long silence after sustained throttling
+          means the feedback channel itself failed (marker loss, a core
+          reset) and the flow is parked far below its share; additive
+          restoration would take minutes of simulated time slow-start
+          covered in seconds. [0] (the default) disables recovery. *)
+  restore : float;
+      (** multiplicative restoration factor; must be a finite value
+          [> 1] when [silence_epochs > 0]. Default 2 (doubling, like
+          slow-start). *)
 }
 
 val default_params : params

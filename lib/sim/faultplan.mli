@@ -1,0 +1,99 @@
+(** Declarative, deterministic fault plans.
+
+    A plan is pure data: which links lose packets (and how), when links
+    flap down and up, and when routers lose their soft state. The plan
+    carries its own [seed]; every random draw an injector makes is
+    derived from [(seed, stream_id)] via {!Rng.scenario}, so a chaos
+    run replays byte-identically from the plan alone — serially or
+    under [Workload.Pool] — and is independent of every other RNG
+    stream in the run.
+
+    Plans are interpreted by [Net.Fault] (link loss and flaps) and by
+    the scheme deployments (router resets); this module only describes
+    and validates them. *)
+
+(** Per-packet loss process. [Bernoulli p] drops each packet i.i.d.
+    with probability [p]. [Gilbert_elliott] is the classic two-state
+    bursty model: the channel moves good->bad with [p_good_bad] and
+    bad->good with [p_bad_good] (evaluated per packet), losing packets
+    with [loss_good] / [loss_bad] in the respective state. *)
+type loss_model =
+  | Bernoulli of float
+  | Gilbert_elliott of {
+      p_good_bad : float;
+      p_bad_good : float;
+      loss_good : float;
+      loss_bad : float;
+    }
+
+(** What the loss process may touch. [Markers_only] corrupts the
+    in-band control plane: the packet survives but its piggybacked
+    forward marker is stripped. [Data_only] drops only unmarked
+    packets. [All_packets] drops anything. *)
+type target = All_packets | Markers_only | Data_only
+
+(** One scheduled outage: the link goes down at [down_at] (losing its
+    queue and everything in flight) and comes back at [up_at]. *)
+type flap = private { down_at : float; up_at : float }
+
+(** @raise Invalid_argument unless [0 <= down_at < up_at], both finite. *)
+val flap : down_at:float -> up_at:float -> flap
+
+(** [flap_train ~first ~period ~down_for ~count] builds [count] outages
+    of length [down_for] every [period] seconds starting at [first]. *)
+val flap_train : first:float -> period:float -> down_for:float -> count:int -> flap list
+
+type link_fault = private {
+  link : string;  (** link name as in [Net.Link.name], or ["*"] for every link *)
+  loss : loss_model option;
+  target : target;
+  feedback_loss : float;
+      (** probability that a feedback marker selected at this link is
+          lost on its way back to the edge *)
+  flaps : flap list;  (** kept sorted by [down_at] *)
+}
+
+(** @raise Invalid_argument on out-of-range probabilities or
+    overlapping flaps. *)
+val link_fault :
+  ?loss:loss_model ->
+  ?target:target ->
+  ?feedback_loss:float ->
+  ?flaps:flap list ->
+  string ->
+  link_fault
+
+(** Router reset targets: a core router identified by the link it
+    polices, or the edge agent of a flow. A reset wipes soft state
+    (marker cache, running averages, feedback tables) and the router's
+    buffered packets — never configuration. *)
+type reset_target = Core_router of string | Edge_agent of int
+
+type reset = private { reset_target : reset_target; at : float }
+
+val reset : at:float -> reset_target -> reset
+
+type t = private {
+  label : string;  (** names the plan's RNG substreams; see {!stream_id} *)
+  seed : int;
+  link_faults : link_fault list;
+  resets : reset list;
+}
+
+(** @raise Invalid_argument on duplicate per-link fault specs. *)
+val make :
+  label:string -> seed:int -> ?link_faults:link_fault list -> ?resets:reset list ->
+  unit -> t
+
+(** The empty plan: no injectors at all. *)
+val none : t
+
+(** [is_passive t] is true when the plan configures no loss, no flaps
+    and no resets — applying such a plan must leave any run
+    byte-identical to a fault-free one. *)
+val is_passive : t -> bool
+
+(** [stream_id t ~link ~channel] is the stable substream identity for
+    one injector channel (e.g. ["loss"], ["feedback"]) of one link; feed
+    it to {!Rng.scenario} with the plan's [seed]. *)
+val stream_id : t -> link:string -> channel:string -> string

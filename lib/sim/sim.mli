@@ -33,6 +33,10 @@ module Floats = Floats
 (** Runtime invariant auditing behind [?check_invariants] flags. *)
 module Invariant = Invariant
 
+(** Declarative, seed-deterministic fault plans (interpreted by
+    [Net.Fault] and the scheme deployments). *)
+module Faultplan = Faultplan
+
 (** Time-weighted averages, EWMA, Welford, P² quantiles. *)
 module Stats = Stats
 

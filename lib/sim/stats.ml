@@ -48,6 +48,10 @@ module Ewma = struct
   let value t = t.avg
 
   let is_initialized t = t.initialized
+
+  let reset t =
+    t.avg <- 0.;
+    t.initialized <- false
 end
 
 module Welford = struct

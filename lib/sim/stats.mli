@@ -38,6 +38,11 @@ module Ewma : sig
   val value : t -> float
 
   val is_initialized : t -> bool
+
+  (** Forget all history: back to the just-created state, where the next
+      observation (re)initializes the average. Used by soft-state
+      recovery paths (router resets). *)
+  val reset : t -> unit
 end
 
 (** Streaming quantile estimation without storing samples — the P²

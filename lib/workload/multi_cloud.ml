@@ -99,11 +99,11 @@ let build ?(params = Corelite.Params.default) ?(seed = 42) ?(handoff_capacity = 
     shared;
   let deployment_a =
     Corelite.Deployment.of_agents ~params ~rng ~topology:cloud_a.Network.topology
-      ~agents:agents_a ~core_links:cloud_a.Network.core_links
+      ~agents:agents_a ~core_links:cloud_a.Network.core_links ()
   in
   let deployment_b =
     Corelite.Deployment.of_agents ~params ~rng ~topology:cloud_b.Network.topology
-      ~agents:agents_b ~core_links:cloud_b.Network.core_links
+      ~agents:agents_b ~core_links:cloud_b.Network.core_links ()
   in
   { chains; locals; deployment_a; deployment_b }
 

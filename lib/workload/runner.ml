@@ -10,6 +10,13 @@ let scheme_name = function
 
 type action = Start of int | Stop of int
 
+type fault_stats = {
+  injected_drops : int;
+  stripped_markers : int;
+  lost_feedback : int;
+  flaps : int;
+}
+
 type result = {
   scheme : string;
   network : Network.t;
@@ -22,6 +29,7 @@ type result = {
   mean_delays : (int * float) list;
   p99_delays : (int * float) list;
   drops_by_flow : (int * int) list;
+  fault : fault_stats option;
 }
 
 (* Scheme-independent view of a deployment. *)
@@ -38,7 +46,7 @@ type driver = {
   early : unit -> int;
 }
 
-let corelite_driver params ~rng ~network ~floors =
+let corelite_driver ?fault ?plan params ~rng ~network ~floors =
   let flows =
     List.map
       (fun f ->
@@ -47,9 +55,10 @@ let corelite_driver params ~rng ~network ~floors =
       network.Network.flows
   in
   let d =
-    Corelite.Deployment.build ~params ~rng ~topology:network.Network.topology ~flows
-      ~core_links:network.Network.core_links
+    Corelite.Deployment.build ?fault ~params ~rng ~topology:network.Network.topology
+      ~flows ~core_links:network.Network.core_links ()
   in
+  Option.iter (Corelite.Deployment.schedule_resets d) plan;
   {
     start = Corelite.Deployment.start_flow d;
     stop = Corelite.Deployment.stop_flow d;
@@ -102,16 +111,34 @@ let csfq_driver ?attach_cores params ~rng ~network ~floors =
           (Csfq.Deployment.cores d));
   }
 
-let run ~scheme ~network ?(seed = 42) ?rng ?(sample_period = 1.) ?(floors = [])
-    ?(bursty = []) ?(burst_distribution = Net.Onoff.Exponential) ~schedule ~duration
-    () =
+let run ~scheme ~network ?(seed = 42) ?rng ?fault ?(sample_period = 1.)
+    ?(floors = []) ?(bursty = []) ?(burst_distribution = Net.Onoff.Exponential)
+    ~schedule ~duration () =
   let engine = network.Network.engine in
   let rng = match rng with Some r -> r | None -> Sim.Rng.create seed in
+  (* The injector draws only from the plan's own (seed, label)-derived
+     substreams, so wiring it here perturbs nothing: with [fault]
+     omitted (or a passive plan) the run is byte-identical to one
+     without this code path. *)
+  let injector =
+    Option.map (fun plan -> Net.Fault.apply ~topology:network.Network.topology plan) fault
+  in
   let driver =
     match scheme with
-    | Corelite params -> corelite_driver params ~rng ~network ~floors
-    | Csfq params -> csfq_driver params ~rng ~network ~floors
-    | Plain params -> csfq_driver ~attach_cores:false params ~rng ~network ~floors
+    | Corelite params ->
+      corelite_driver ?fault:injector ?plan:fault params ~rng ~network ~floors
+    | Csfq _ | Plain _ -> (
+      (match fault with
+      | Some plan when plan.Sim.Faultplan.resets <> [] ->
+        (* Loss and flaps are scheme-agnostic link behaviour, but a
+           router reset wipes scheme soft state, which only the
+           Corelite deployment models. *)
+        invalid_arg "Runner.run: router resets require the Corelite scheme"
+      | Some _ | None -> ());
+      match scheme with
+      | Csfq params -> csfq_driver params ~rng ~network ~floors
+      | Plain params -> csfq_driver ~attach_cores:false params ~rng ~network ~floors
+      | Corelite _ -> assert false)
   in
   List.iter
     (fun (time, action) ->
@@ -165,6 +192,16 @@ let run ~scheme ~network ?(seed = 42) ?rng ?(sample_period = 1.) ?(floors = [])
     mean_delays = List.map (fun id -> (id, driver.mean_delay id)) ids;
     p99_delays = List.map (fun id -> (id, driver.p99_delay id)) ids;
     drops_by_flow = List.map (fun id -> (id, driver.flow_drops id)) ids;
+    fault =
+      Option.map
+        (fun inj ->
+          {
+            injected_drops = Net.Fault.injected_drops inj;
+            stripped_markers = Net.Fault.stripped_markers inj;
+            lost_feedback = Net.Fault.feedback_losses inj;
+            flaps = Net.Fault.flaps_fired inj;
+          })
+        injector;
   }
 
 let mean_rate result ~flow ~from ~until =

@@ -17,6 +17,16 @@ val scheme_name : scheme -> string
 
 type action = Start of int | Stop of int
 
+(** What the fault injector actually did during a run (present iff a
+    plan was passed): packets destroyed, markers stripped off forwarded
+    packets, feedback markers suppressed, and link-down events fired. *)
+type fault_stats = {
+  injected_drops : int;
+  stripped_markers : int;
+  lost_feedback : int;
+  flaps : int;
+}
+
 type result = {
   scheme : string;
   network : Network.t;
@@ -37,6 +47,8 @@ type result = {
   drops_by_flow : (int * int) list;
       (** per flow: packets lost on the core links (CSFQ-paper-style
           loss accounting) *)
+  fault : fault_stats option;
+      (** injector counters; [None] when the run had no fault plan *)
 }
 
 (** [run ~scheme ~network ~schedule ~duration ()] executes one
@@ -46,12 +58,23 @@ type result = {
     extensions). Sampling defaults to once per simulated second.
     Deterministic for a fixed [seed]; [rng] overrides the root
     generator entirely (pool scenarios pass their
-    [Sim.Rng.scenario]-derived stream here, leaving [seed] unused). *)
+    [Sim.Rng.scenario]-derived stream here, leaving [seed] unused).
+
+    [fault] applies a {!Sim.Faultplan.t} for the run: link loss and
+    flaps are installed via {!Net.Fault.apply} for any scheme; router
+    resets are scheduled through the Corelite deployment. The injector
+    draws only from the plan's own substreams, so the chaos run is a
+    pure function of [(seed or rng, plan)] — and a passive plan leaves
+    the run byte-identical to a fault-free one.
+    @raise Invalid_argument if the plan carries router resets and the
+    scheme is not [Corelite], names an unknown link/flow, or schedules
+    faults in the simulated past. *)
 val run :
   scheme:scheme ->
   network:Network.t ->
   ?seed:int ->
   ?rng:Sim.Rng.t ->
+  ?fault:Sim.Faultplan.t ->
   ?sample_period:float ->
   ?floors:(int * float) list ->
   ?bursty:(int * float * float) list ->

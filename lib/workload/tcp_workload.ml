@@ -62,7 +62,7 @@ let build ?(params = Corelite.Params.default) ?(tcp_params = Net.Tcp.default_par
     network.Network.flows;
   let deployment =
     Corelite.Deployment.of_agents ~params ~rng ~topology ~agents
-      ~core_links:network.Network.core_links
+      ~core_links:network.Network.core_links ()
   in
   { network; aggregates; connections; deployment }
 

@@ -6,7 +6,8 @@
     loss-driven sources) and samples the series the figures plot;
     {!Figures} encodes Figures 3-10 of the paper with their
     measurement phases and references; {!Sweeps} the sensitivity and
-    ablation grid; {!Replication} multi-seed statistics; {!Blaster}
+    ablation grid; {!Chaos} the fault-injection battery (loss, flaps,
+    router resets); {!Replication} multi-seed statistics; {!Blaster}
     unresponsive stress sources; {!Tcp_workload} TCP micro-flows in
     shaped aggregates; {!Tcp_direct} raw TCP over each core discipline;
     {!Multi_cloud} inter-domain chaining;
@@ -18,6 +19,7 @@ module Network = Network
 module Runner = Runner
 module Figures = Figures
 module Sweeps = Sweeps
+module Chaos = Chaos
 module Replication = Replication
 module Blaster = Blaster
 module Tcp_workload = Tcp_workload

@@ -1,0 +1,231 @@
+(* Tests for the deterministic fault-injection layer: plan validation,
+   injector wiring, and the chaos battery's determinism guarantees
+   (serial = pooled, passive plan = no plan, replay from seeds). *)
+
+let check_float = Alcotest.(check (float 0.))
+
+(* ------------------------------------------------------------------ *)
+(* Faultplan validation *)
+
+let test_faultplan_rejects_bad_probabilities () =
+  Alcotest.check_raises "loss > 1"
+    (Invalid_argument "Faultplan.bernoulli: probability 2 outside [0, 1]") (fun () ->
+      ignore (Sim.Faultplan.link_fault ~loss:(Sim.Faultplan.Bernoulli 2.) "L"));
+  Alcotest.check_raises "nan feedback loss"
+    (Invalid_argument "Faultplan.link_fault.feedback_loss: probability nan outside [0, 1]")
+    (fun () -> ignore (Sim.Faultplan.link_fault ~feedback_loss:Float.nan "L"))
+
+let test_faultplan_rejects_overlapping_flaps () =
+  Alcotest.check_raises "down after up"
+    (Invalid_argument "Faultplan.flap: up_at 5 must follow down_at 5") (fun () ->
+      ignore (Sim.Faultplan.flap ~down_at:5. ~up_at:5.));
+  Alcotest.check_raises "overlap"
+    (Invalid_argument
+       "Faultplan.link_fault: flaps overlap on L (down at 2 before up at 3)")
+    (fun () ->
+      ignore
+        (Sim.Faultplan.link_fault
+           ~flaps:
+             [
+               Sim.Faultplan.flap ~down_at:1. ~up_at:3.;
+               Sim.Faultplan.flap ~down_at:2. ~up_at:4.;
+             ]
+           "L"))
+
+let test_faultplan_flap_train () =
+  let flaps = Sim.Faultplan.flap_train ~first:10. ~period:20. ~down_for:2. ~count:3 in
+  Alcotest.(check int) "three flaps" 3 (List.length flaps);
+  List.iteri
+    (fun i f ->
+      check_float "down_at" (10. +. (20. *. float_of_int i)) f.Sim.Faultplan.down_at;
+      check_float "up_at" (12. +. (20. *. float_of_int i)) f.Sim.Faultplan.up_at)
+    flaps
+
+let test_faultplan_rejects_duplicate_links () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument
+       "Faultplan.make: duplicate link fault for L (merge the specs; each link \
+        owns one RNG substream)") (fun () ->
+      ignore
+        (Sim.Faultplan.make ~label:"x" ~seed:1
+           ~link_faults:
+             [ Sim.Faultplan.link_fault "L"; Sim.Faultplan.link_fault "L" ]
+           ()))
+
+let test_faultplan_passive () =
+  Alcotest.(check bool) "none is passive" true (Sim.Faultplan.is_passive Sim.Faultplan.none);
+  let active =
+    Sim.Faultplan.make ~label:"x" ~seed:1
+      ~resets:[ Sim.Faultplan.reset ~at:1. (Sim.Faultplan.Edge_agent 1) ]
+      ()
+  in
+  Alcotest.(check bool) "resets are active" false (Sim.Faultplan.is_passive active)
+
+(* ------------------------------------------------------------------ *)
+(* Injector wiring *)
+
+let small_network () =
+  let engine = Sim.Engine.create () in
+  let network =
+    Workload.Network.topology1 ~engine
+      ~flow_ids:(List.init 4 (fun i -> i + 1))
+      ~weights:(fun _ -> 1.) ()
+  in
+  (engine, network)
+
+let test_fault_apply_unknown_link () =
+  let _, network = small_network () in
+  let plan =
+    Sim.Faultplan.make ~label:"x" ~seed:1
+      ~link_faults:[ Sim.Faultplan.link_fault ~feedback_loss:0.5 "no-such-link" ]
+      ()
+  in
+  Alcotest.check_raises "unknown link"
+    (Invalid_argument "Fault.apply: unknown link no-such-link") (fun () ->
+      ignore (Net.Fault.apply ~topology:network.Workload.Network.topology plan))
+
+let test_fault_apply_rejects_doubly_matched_link () =
+  let _, network = small_network () in
+  let name = (List.hd network.Workload.Network.core_links).Net.Link.name in
+  let plan =
+    Sim.Faultplan.make ~label:"x" ~seed:1
+      ~link_faults:
+        [
+          Sim.Faultplan.link_fault ~feedback_loss:0.5 "*";
+          Sim.Faultplan.link_fault ~feedback_loss:0.5 name;
+        ]
+      ()
+  in
+  Alcotest.check_raises "wildcard + exact overlap"
+    (Invalid_argument
+       ("Fault.apply: link " ^ name ^ " matched by two fault specs (merge them)"))
+    (fun () -> ignore (Net.Fault.apply ~topology:network.Workload.Network.topology plan))
+
+let test_resets_require_corelite () =
+  let _, network = small_network () in
+  let plan =
+    Sim.Faultplan.make ~label:"x" ~seed:1
+      ~resets:[ Sim.Faultplan.reset ~at:5. (Sim.Faultplan.Core_router "C1->C2") ]
+      ()
+  in
+  Alcotest.check_raises "csfq cannot reset routers"
+    (Invalid_argument "Runner.run: router resets require the Corelite scheme")
+    (fun () ->
+      ignore
+        (Workload.Runner.run ~scheme:(Workload.Runner.Csfq Csfq.Params.default)
+           ~network ~fault:plan
+           ~schedule:[ (0., Workload.Runner.Start 1) ]
+           ~duration:1. ()))
+
+let test_reset_unknown_targets_rejected () =
+  let run resets =
+    let _, network = small_network () in
+    let plan = Sim.Faultplan.make ~label:"x" ~seed:1 ~resets () in
+    ignore
+      (Workload.Runner.run
+         ~scheme:(Workload.Runner.Corelite Corelite.Params.default)
+         ~network ~fault:plan
+         ~schedule:[ (0., Workload.Runner.Start 1) ]
+         ~duration:1. ())
+  in
+  Alcotest.check_raises "unknown core"
+    (Invalid_argument "Deployment.schedule_resets: no core on link bogus") (fun () ->
+      run [ Sim.Faultplan.reset ~at:0.5 (Sim.Faultplan.Core_router "bogus") ]);
+  Alcotest.check_raises "unknown agent"
+    (Invalid_argument "Deployment.schedule_resets: no agent for flow 99") (fun () ->
+      run [ Sim.Faultplan.reset ~at:0.5 (Sim.Faultplan.Edge_agent 99) ])
+
+(* ------------------------------------------------------------------ *)
+(* Determinism guarantees *)
+
+let corelite_run ?fault () =
+  let _, network = small_network () in
+  let schedule = List.init 4 (fun i -> (0., Workload.Runner.Start (i + 1))) in
+  Workload.Runner.run
+    ~scheme:(Workload.Runner.Corelite Workload.Chaos.recovery_params)
+    ~network ?fault ~schedule ~duration:20. ()
+
+let fingerprint (r : Workload.Runner.result) =
+  let series =
+    List.concat_map
+      (fun (flow, ts) ->
+        Array.to_list
+          (Array.map
+             (fun (t, v) -> Printf.sprintf "%d:%.17g:%.17g" flow t v)
+             (Sim.Timeseries.to_array ts)))
+      r.Workload.Runner.goodput_series
+  in
+  String.concat ";"
+    (Printf.sprintf "drops=%d fb=%d" r.Workload.Runner.core_drops
+       r.Workload.Runner.feedback_markers
+    :: series)
+
+(* A passive plan must leave the run byte-identical to no plan at all:
+   the injector draws nothing, installs nothing, schedules nothing. *)
+let test_passive_plan_is_free () =
+  let bare = fingerprint (corelite_run ()) in
+  let passive =
+    fingerprint
+      (corelite_run ~fault:(Sim.Faultplan.make ~label:"passive" ~seed:7 ()) ())
+  in
+  Alcotest.(check string) "byte-identical" bare passive
+
+(* Same plan, same seeds -> byte-identical faulted run (replay); a
+   different fault seed perturbs it (the faults are actually live). *)
+let test_faulted_run_replays_from_seed () =
+  let faulted seed =
+    let plan =
+      Sim.Faultplan.make ~label:"replay" ~seed
+        ~link_faults:
+          [
+            Sim.Faultplan.link_fault ~loss:(Sim.Faultplan.Bernoulli 0.1)
+              ~target:Sim.Faultplan.Markers_only ~feedback_loss:0.1 "*";
+          ]
+        ()
+    in
+    fingerprint (corelite_run ~fault:plan ())
+  in
+  Alcotest.(check string) "same seed replays" (faulted 1) (faulted 1);
+  Alcotest.(check bool) "different seed diverges" true (faulted 1 <> faulted 2)
+
+(* The battery's own currency: pooled execution must produce CSV bytes
+   equal to serial execution. One group is enough for a unit test; the
+   chaos bench asserts it over the whole battery. *)
+let test_battery_serial_equals_pooled () =
+  let groups = Workload.Chaos.jobs ~quick:true () in
+  let name, jobs = List.nth groups 2 (* link flaps: the cheapest group *) in
+  Alcotest.(check string) ("group " ^ name)
+    (Workload.Chaos.csv_of_points (List.map (fun j -> j.Workload.Pool.run ()) jobs))
+    (Workload.Chaos.csv_of_points (Workload.Pool.map ~domains:2 jobs))
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "faultplan",
+        [
+          Alcotest.test_case "bad probabilities" `Quick
+            test_faultplan_rejects_bad_probabilities;
+          Alcotest.test_case "overlapping flaps" `Quick
+            test_faultplan_rejects_overlapping_flaps;
+          Alcotest.test_case "flap train" `Quick test_faultplan_flap_train;
+          Alcotest.test_case "duplicate links" `Quick
+            test_faultplan_rejects_duplicate_links;
+          Alcotest.test_case "passive" `Quick test_faultplan_passive;
+        ] );
+      ( "injector",
+        [
+          Alcotest.test_case "unknown link" `Quick test_fault_apply_unknown_link;
+          Alcotest.test_case "doubly matched link" `Quick
+            test_fault_apply_rejects_doubly_matched_link;
+          Alcotest.test_case "resets need corelite" `Quick test_resets_require_corelite;
+          Alcotest.test_case "unknown reset targets" `Quick
+            test_reset_unknown_targets_rejected;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "passive plan is free" `Quick test_passive_plan_is_free;
+          Alcotest.test_case "replay from seed" `Quick
+            test_faulted_run_replays_from_seed;
+          Alcotest.test_case "serial = pooled" `Slow test_battery_serial_equals_pooled;
+        ] );
+    ]

@@ -49,6 +49,70 @@ let test_fn_cubic_term () =
   in
   check_float "cubic adds k*(q-qt)^3" (base +. (0.01 *. 64.)) with_k
 
+(* The cubic correction at the congestion boundary qavg = qthresh:
+   both terms vanish exactly at the threshold, and the budget rises
+   continuously (no jump) as qavg crosses it — the cubic term grows as
+   eps^3, so just above threshold the M/M/1 term dominates. *)
+let test_fn_cubic_boundary () =
+  let t = Corelite.Congestion.make (Corelite.Congestion.Mm1_cubic 0.005) in
+  check_float "exactly at threshold" 0.
+    (Corelite.Congestion.budget t ~mu:50. ~qavg:8. ~qthresh:8.);
+  let eps = 1e-6 in
+  let just_above = Corelite.Congestion.budget t ~mu:50. ~qavg:(8. +. eps) ~qthresh:8. in
+  Alcotest.(check bool) "continuous from above" true
+    (just_above > 0. && just_above < 1e-4);
+  (* At qavg = qthresh + 2 the cubic adds exactly k * 8 over the pure
+     M/M/1 budget. *)
+  let base = Corelite.Congestion.markers_needed ~mu:50. ~qavg:10. ~qthresh:8. ~k:0. in
+  check_float "cubic increment" (base +. (0.005 *. 8.))
+    (Corelite.Congestion.budget t ~mu:50. ~qavg:10. ~qthresh:8.)
+
+(* qavg comes from router soft state that faults can corrupt. Release
+   builds clamp garbage to "uncongested"; debug builds (invariant
+   auditing on, as in this suite) raise at the source. *)
+let test_budget_clamps_bad_qavg_when_released () =
+  Sim.Invariant.set_default false;
+  Fun.protect
+    ~finally:(fun () -> Sim.Invariant.set_default true)
+    (fun () ->
+      let t = Corelite.Congestion.make (Corelite.Congestion.Mm1_cubic 0.005) in
+      List.iter
+        (fun qavg ->
+          check_float "clamped to uncongested" 0.
+            (Corelite.Congestion.budget t ~mu:50. ~qavg ~qthresh:8.))
+        [ Float.nan; Float.neg_infinity; Float.infinity; -3. ])
+
+let test_budget_raises_on_bad_qavg_in_debug () =
+  let t = Corelite.Congestion.make (Corelite.Congestion.Mm1_cubic 0.005) in
+  List.iter
+    (fun qavg ->
+      Alcotest.check_raises "Violation"
+        (Sim.Invariant.Violation
+           (Printf.sprintf "Congestion.budget: qavg %h is not finite and non-negative"
+              qavg))
+        (fun () -> ignore (Corelite.Congestion.budget t ~mu:50. ~qavg ~qthresh:8.)))
+    [ Float.nan; -1. ]
+
+let test_budget_rejects_negative_inputs () =
+  let t = Corelite.Congestion.make (Corelite.Congestion.Mm1_cubic 0.005) in
+  Alcotest.check_raises "negative mu" (Invalid_argument "Congestion.budget: negative input")
+    (fun () -> ignore (Corelite.Congestion.budget t ~mu:(-1.) ~qavg:0. ~qthresh:8.));
+  Alcotest.check_raises "negative qthresh"
+    (Invalid_argument "Congestion.budget: negative input") (fun () ->
+      ignore (Corelite.Congestion.budget t ~mu:50. ~qavg:0. ~qthresh:(-8.)))
+
+let test_congestion_reset_forgets_smoothed_queue () =
+  let t =
+    Corelite.Congestion.make
+      (Corelite.Congestion.Ewma_threshold { gain = 1.0; scale = 1. })
+  in
+  (* gain 1: the EWMA is just the last qavg. 20 packets -> budget 12. *)
+  check_float "congested" 12. (Corelite.Congestion.budget t ~mu:50. ~qavg:20. ~qthresh:8.);
+  Corelite.Congestion.reset t;
+  (* History forgotten: a quiet epoch after the reset reads as quiet. *)
+  check_float "quiet after reset" 0.
+    (Corelite.Congestion.budget t ~mu:50. ~qavg:0. ~qthresh:8.)
+
 let test_fn_mm1_arrival_rate () =
   check_float "q=8" (50. *. 8. /. 9.) (Corelite.Congestion.mm1_arrival_rate ~mu:50. ~q:8.);
   Alcotest.check_raises "negative"
@@ -235,6 +299,49 @@ let test_stateless_rejects_negative_budget () =
   Alcotest.check_raises "negative"
     (Invalid_argument "Stateless_selector.on_epoch: negative budget") (fun () ->
       Corelite.Stateless_selector.on_epoch s ~fn:(-1.))
+
+(* ------------------------------------------------------------------ *)
+(* Router-reset soft-state semantics (robustness extension) *)
+
+let test_cache_clear_empties () =
+  let c = Corelite.Cache_selector.create ~capacity:8 ~rng:(Sim.Rng.create 3) in
+  for i = 1 to 5 do
+    Corelite.Cache_selector.observe c (marker ~flow:i (float_of_int i))
+  done;
+  Alcotest.(check int) "cached" 5 (Corelite.Cache_selector.occupancy c);
+  Corelite.Cache_selector.clear c;
+  Alcotest.(check int) "wiped" 0 (Corelite.Cache_selector.occupancy c);
+  (* An empty cache selects nothing (and draws nothing): a freshly
+     reset core cannot burst feedback from stale entries. *)
+  Alcotest.(check int) "no draws" 0
+    (Corelite.Cache_selector.select_iter c ~fn:5. (fun _ ->
+         Alcotest.fail "selected from a cleared cache"));
+  Alcotest.(check int) "empty selection" 0
+    (List.length (Corelite.Cache_selector.select c ~fn:5.));
+  (* A cleared cache must be a working cache. *)
+  Corelite.Cache_selector.observe c (marker 1.);
+  Alcotest.(check int) "usable after clear" 1 (Corelite.Cache_selector.occupancy c)
+
+let test_stateless_reset_clears_state () =
+  let s =
+    Corelite.Stateless_selector.create ~rav_gain:0.5 ~wav_gain:0.5 ~pw_cap:8.
+      ~rng:(Sim.Rng.create 4)
+  in
+  (* Build up rav/wav and arm a selection probability. *)
+  for _ = 1 to 10 do
+    ignore (Corelite.Stateless_selector.observe s (marker 4.))
+  done;
+  Corelite.Stateless_selector.on_epoch s ~fn:5.;
+  Alcotest.(check bool) "armed" true (Corelite.Stateless_selector.pw s > 0.);
+  Alcotest.(check bool) "rav built" true (Corelite.Stateless_selector.rav s > 0.);
+  Corelite.Stateless_selector.reset s;
+  check_float "pw zeroed" 0. (Corelite.Stateless_selector.pw s);
+  check_float "rav forgotten" 0. (Corelite.Stateless_selector.rav s);
+  Alcotest.(check int) "deficit zeroed" 0 (Corelite.Stateless_selector.deficit s);
+  (* With pw = 0 nothing is selected until an epoch rebuilds a budget
+     from fresh observations. *)
+  Alcotest.(check int) "no selection after reset" 0
+    (Corelite.Stateless_selector.observe s (marker 4.))
 
 (* ------------------------------------------------------------------ *)
 (* Edge agent *)
@@ -426,6 +533,65 @@ let test_core_detects_congestion_under_load () =
   Alcotest.(check bool) "feedback counter matches" true
     (Corelite.Core.feedback_sent core = List.length !feedback)
 
+(* A rebooted core must rebuild its view from zero: no feedback burst
+   from stale selector entries or a stale queue average. *)
+let test_core_reset_no_feedback_burst () =
+  let params = Corelite.Params.default in
+  let engine, _, agent, core, feedback, (_, l2, _) = core_fixture ~params () in
+  Corelite.Edge.start agent;
+  Corelite.Edge.stop agent;
+  let seq = ref 0 in
+  let blast =
+    Sim.Engine.every engine ~period:(1. /. 700.) (fun () ->
+        incr seq;
+        let pkt =
+          Net.Packet.make ~id:!seq ~flow:1
+            ~marker:(marker ~flow:1 700.)
+            ~created:(Sim.Engine.now engine) ()
+        in
+        Net.Link.send l2 pkt)
+  in
+  Sim.Engine.run_until engine 10.;
+  Sim.Engine.cancel blast;
+  Alcotest.(check bool) "was congested" true (List.length !feedback > 0);
+  (* Reboot the router mid-run: RAM (queue) and soft state both go. *)
+  Net.Link.reset l2;
+  Corelite.Core.reset core;
+  check_float "qavg wiped" 0. (Corelite.Core.last_qavg core);
+  check_float "fn wiped" 0. (Corelite.Core.last_fn core);
+  let after_reset = List.length !feedback in
+  Sim.Engine.run_until engine 15.;
+  (* Epochs keep ticking on an idle, rebuilt core: nothing to say. *)
+  Alcotest.(check int) "no feedback burst" after_reset (List.length !feedback)
+
+let test_edge_reset_restarts_adaptation () =
+  let engine, _, agent, _ = edge_fixture () in
+  Corelite.Edge.start agent;
+  Sim.Engine.run_until engine 5.;
+  let initial = (Corelite.Edge.params agent).Corelite.Params.source.Net.Source.initial_rate in
+  Alcotest.(check bool) "rate adapted away from initial" true
+    (Corelite.Edge.rate agent > initial);
+  Corelite.Edge.reset agent;
+  Alcotest.(check bool) "still running" true (Corelite.Edge.running agent);
+  check_float "rate back to initial" initial (Corelite.Edge.rate agent);
+  (* The restarted agent keeps sending. *)
+  let sent = Corelite.Edge.sent agent in
+  Sim.Engine.run_until engine 8.;
+  Alcotest.(check bool) "emitting after reset" true (Corelite.Edge.sent agent > sent)
+
+(* A stopped agent stays stopped across a reset (a rebooted edge router
+   does not resurrect flows the application already closed). *)
+let test_edge_reset_respects_stopped () =
+  let engine, _, agent, _ = edge_fixture () in
+  Corelite.Edge.start agent;
+  Sim.Engine.run_until engine 2.;
+  Corelite.Edge.stop agent;
+  Corelite.Edge.reset agent;
+  Alcotest.(check bool) "still stopped" false (Corelite.Edge.running agent);
+  let sent = Corelite.Edge.sent agent in
+  Sim.Engine.run_until engine 4.;
+  Alcotest.(check int) "no packets after reset" sent (Corelite.Edge.sent agent)
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end convergence *)
 
@@ -589,6 +755,14 @@ let () =
           Alcotest.test_case "mm1 term" `Quick test_fn_mm1_term;
           Alcotest.test_case "cubic term" `Quick test_fn_cubic_term;
           Alcotest.test_case "mm1 arrival rate" `Quick test_fn_mm1_arrival_rate;
+          Alcotest.test_case "cubic boundary" `Quick test_fn_cubic_boundary;
+          Alcotest.test_case "clamps bad qavg (release)" `Quick
+            test_budget_clamps_bad_qavg_when_released;
+          Alcotest.test_case "raises on bad qavg (debug)" `Quick
+            test_budget_raises_on_bad_qavg_in_debug;
+          Alcotest.test_case "negative inputs" `Quick test_budget_rejects_negative_inputs;
+          Alcotest.test_case "reset forgets smoothing" `Quick
+            test_congestion_reset_forgets_smoothed_queue;
           qt prop_fn_monotone_in_qavg;
           qt prop_fn_nonnegative;
         ] );
@@ -600,6 +774,7 @@ let () =
           Alcotest.test_case "proportional feedback" `Quick
             test_cache_proportional_feedback;
           Alcotest.test_case "bad args" `Quick test_cache_rejects_bad_args;
+          Alcotest.test_case "clear empties" `Quick test_cache_clear_empties;
         ] );
       ( "stateless_selector",
         [
@@ -614,6 +789,7 @@ let () =
           Alcotest.test_case "expected feedback rate" `Quick
             test_stateless_expected_feedback_rate;
           Alcotest.test_case "negative budget" `Quick test_stateless_rejects_negative_budget;
+          Alcotest.test_case "reset clears state" `Quick test_stateless_reset_clears_state;
         ] );
       ( "edge",
         [
@@ -624,6 +800,10 @@ let () =
             test_edge_feedback_ignored_when_stopped;
           Alcotest.test_case "delivery counting" `Quick test_edge_delivery_counting;
           Alcotest.test_case "restart" `Quick test_edge_restart_after_stop;
+          Alcotest.test_case "reset restarts adaptation" `Quick
+            test_edge_reset_restarts_adaptation;
+          Alcotest.test_case "reset respects stopped" `Quick
+            test_edge_reset_respects_stopped;
         ] );
       ( "core",
         [
@@ -635,6 +815,8 @@ let () =
           Alcotest.test_case "detach" `Quick test_core_detach_restores_link;
           Alcotest.test_case "detects congestion" `Quick
             test_core_detects_congestion_under_load;
+          Alcotest.test_case "reset: no feedback burst" `Quick
+            test_core_reset_no_feedback_burst;
         ] );
       ( "convergence",
         [

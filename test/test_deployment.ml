@@ -18,7 +18,7 @@ let corelite_deployment network =
   Corelite.Deployment.build ~params:Corelite.Params.default ~rng:(Sim.Rng.create 3)
     ~topology:network.Workload.Network.topology
     ~flows:(List.map (fun f -> Corelite.Deployment.spec f) network.Workload.Network.flows)
-    ~core_links:network.Workload.Network.core_links
+    ~core_links:network.Workload.Network.core_links ()
 
 let test_deployment_rejects_duplicate_flows () =
   let _, network = single_bottleneck () in
@@ -29,7 +29,7 @@ let test_deployment_rejects_duplicate_flows () =
         (Corelite.Deployment.build ~params:Corelite.Params.default
            ~rng:(Sim.Rng.create 1) ~topology:network.Workload.Network.topology
            ~flows:[ Corelite.Deployment.spec flow; Corelite.Deployment.spec flow ]
-           ~core_links:network.Workload.Network.core_links))
+           ~core_links:network.Workload.Network.core_links ()))
 
 let test_deployment_agents_sorted () =
   let _, network = single_bottleneck ~n:5 () in

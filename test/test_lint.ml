@@ -210,6 +210,42 @@ let test_l6_waiver () =
   check_rules "waived" [] vs
 
 (* ------------------------------------------------------------------ *)
+(* L7: fault injection confined to Net.Fault *)
+
+let test_l7_flags_loss_coin_in_packet_path () =
+  let vs =
+    lint_one "lib/net/mylink.ml"
+      "let lossy rng pkt = if Sim.Rng.bernoulli rng 0.1 then None else Some pkt\n"
+  in
+  check_rules "ad-hoc loss coin in lib/net" [ Lint.L7_fault_inject ] vs;
+  let vs =
+    lint_one "lib/corelite/mycore.ml"
+      "let drop t = Rng.bernoulli t.rng t.p\n"
+  in
+  check_rules "ad-hoc loss coin in lib/corelite" [ Lint.L7_fault_inject ] vs
+
+let test_l7_allows_fault_module_and_elsewhere () =
+  (* lib/net/fault.ml is the one sanctioned injector... *)
+  let vs =
+    lint_one "lib/net/fault.ml" "let lose st p = Sim.Rng.bernoulli st.rng p\n"
+  in
+  check_rules "Net.Fault owns the coins" [] vs;
+  (* ...and the rule only covers the packet path: csfq's probabilistic
+     drop and workload/test code are someone else's algorithm. *)
+  let vs = lint_one "lib/csfq/core.ml" "let d t p = Sim.Rng.bernoulli t.rng p\n" in
+  check_rules "lib/csfq out of scope" [] vs;
+  let vs = lint_one "bin/run.ml" "let d rng = Sim.Rng.bernoulli rng 0.5\n" in
+  check_rules "executables out of scope" [] vs
+
+let test_l7_waiver () =
+  let vs =
+    lint_one "lib/net/myqdisc.ml"
+      "(* lint: fault-ok -- RED's own early-drop coin *)\n\
+       let early rng p = Sim.Rng.bernoulli rng p\n"
+  in
+  check_rules "waived algorithmic coin" [] vs
+
+(* ------------------------------------------------------------------ *)
 (* Parse errors and the directory walker *)
 
 let test_parse_error_reported () =
@@ -345,6 +381,14 @@ let () =
           Alcotest.test_case "allows Queue elsewhere" `Quick
             test_l6_allows_queue_elsewhere;
           Alcotest.test_case "waiver" `Quick test_l6_waiver;
+        ] );
+      ( "l7_fault_inject",
+        [
+          Alcotest.test_case "flags loss coin in packet path" `Quick
+            test_l7_flags_loss_coin_in_packet_path;
+          Alcotest.test_case "allows Net.Fault + out-of-scope" `Quick
+            test_l7_allows_fault_module_and_elsewhere;
+          Alcotest.test_case "waiver" `Quick test_l7_waiver;
         ] );
       ( "driver",
         [

@@ -389,11 +389,119 @@ let test_link_capacity_pps () =
 
 let test_link_rejects_bad_args () =
   let engine = Sim.Engine.create () in
-  Alcotest.check_raises "bandwidth" (Invalid_argument "Link.create: bandwidth must be positive")
-    (fun () ->
-      ignore
-        (Net.Link.create ~engine ~id:0 ~name:"x" ~src:0 ~dst:1 ~bandwidth:0. ~delay:0.
-           ~qdisc:(Net.Qdisc.droptail ~capacity:1) ()))
+  let mk ~bandwidth ~delay () =
+    ignore
+      (Net.Link.create ~engine ~id:0 ~name:"x" ~src:0 ~dst:1 ~bandwidth ~delay
+         ~qdisc:(Net.Qdisc.droptail ~capacity:1) ())
+  in
+  Alcotest.check_raises "zero bandwidth"
+    (Invalid_argument "Link.create: bandwidth must be positive")
+    (mk ~bandwidth:0. ~delay:0.);
+  Alcotest.check_raises "negative bandwidth"
+    (Invalid_argument "Link.create: bandwidth must be positive")
+    (mk ~bandwidth:(-8000.) ~delay:0.);
+  Alcotest.check_raises "nan bandwidth"
+    (Invalid_argument "Link.create: bandwidth must be finite")
+    (mk ~bandwidth:Float.nan ~delay:0.);
+  Alcotest.check_raises "infinite bandwidth"
+    (Invalid_argument "Link.create: bandwidth must be finite")
+    (mk ~bandwidth:Float.infinity ~delay:0.);
+  Alcotest.check_raises "nan delay"
+    (Invalid_argument "Link.create: delay must be finite")
+    (mk ~bandwidth:8000. ~delay:Float.nan);
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Link.create: negative delay")
+    (mk ~bandwidth:8000. ~delay:(-0.1))
+
+(* ------------------------------------------------------------------ *)
+(* Link outages, resets and the fault hook (the chaos surface) *)
+
+let test_link_down_purges_and_recovers () =
+  let engine, _, _, b, link = simple_net () in
+  let delivered = ref [] in
+  Net.Node.set_sink b ~flow:1 (fun p -> delivered := p.Net.Packet.id :: !delivered);
+  let reasons = ref [] in
+  link.Net.Link.on_drop <- Some (fun reason _ -> reasons := reason :: !reasons);
+  (* 8000 bit/s, 1000 B packets: 1 s serialization each. Queue 5, take
+     the link down at 1.5 s (one delivered, one on the wire or in
+     service, rest queued), bring it back at 3 s and send two more. *)
+  for i = 1 to 5 do
+    Net.Link.send link (mk_packet ~id:i ())
+  done;
+  ignore
+    (Sim.Engine.schedule_at engine ~time:1.5 (fun () -> Net.Link.set_up link false));
+  ignore
+    (Sim.Engine.schedule_at engine ~time:3.0 (fun () ->
+         Net.Link.set_up link true;
+         Net.Link.send link (mk_packet ~id:6 ());
+         Net.Link.send link (mk_packet ~id:7 ())));
+  Sim.Engine.run engine;
+  Alcotest.(check (list int)) "survivors in order" [ 1; 6; 7 ] (List.rev !delivered);
+  Alcotest.(check bool) "all losses are Down" true
+    (List.for_all (fun r -> r = Net.Link.Down) !reasons);
+  (* Conservation across the purge: everything sent is accounted. *)
+  Alcotest.(check int) "arrivals" 7 link.Net.Link.arrivals;
+  Alcotest.(check int) "departures + drops" 7
+    (link.Net.Link.departures + link.Net.Link.drops);
+  Alcotest.(check int) "queue empty" 0 (Net.Link.queue_length link)
+
+let test_link_send_while_down_drops () =
+  let engine, _, _, b, link = simple_net () in
+  Net.Node.set_sink b ~flow:1 (fun _ -> Alcotest.fail "delivered through a down link");
+  Net.Link.set_up link false;
+  Net.Link.send link (mk_packet ~id:1 ());
+  Sim.Engine.run engine;
+  Alcotest.(check int) "counted as drop" 1 link.Net.Link.drops;
+  Alcotest.(check bool) "still down" false (Net.Link.is_up link)
+
+let test_link_reset_purges_but_stays_up () =
+  let engine, _, _, b, link = simple_net () in
+  let delivered = ref [] in
+  Net.Node.set_sink b ~flow:1 (fun p -> delivered := p.Net.Packet.id :: !delivered);
+  for i = 1 to 4 do
+    Net.Link.send link (mk_packet ~id:i ())
+  done;
+  ignore
+    (Sim.Engine.schedule_at engine ~time:1.5 (fun () ->
+         Net.Link.reset link;
+         Alcotest.(check bool) "up across reset" true (Net.Link.is_up link);
+         (* A reset link is a working link, immediately. *)
+         Net.Link.send link (mk_packet ~id:9 ())));
+  Sim.Engine.run engine;
+  Alcotest.(check (list int)) "first and post-reset packets" [ 1; 9 ]
+    (List.rev !delivered);
+  Alcotest.(check int) "arrivals" 5 link.Net.Link.arrivals;
+  Alcotest.(check int) "departures + drops" 5
+    (link.Net.Link.departures + link.Net.Link.drops)
+
+let test_link_fault_hook_strip_and_lose () =
+  let engine, _, _, b, link = simple_net () in
+  let delivered = ref [] in
+  Net.Node.set_sink b ~flow:1 (fun p -> delivered := p :: !delivered);
+  let reasons = ref [] in
+  link.Net.Link.on_drop <- Some (fun reason _ -> reasons := reason :: !reasons);
+  (* Deterministic stand-in for Net.Fault: lose even ids, strip odd. *)
+  Net.Link.set_fault link
+    (Some
+       (fun p ->
+         if p.Net.Packet.id mod 2 = 0 then Net.Link.Lose else Net.Link.Strip));
+  let marker = { Net.Packet.edge_id = 0; flow_id = 1; normalized_rate = 1.0 } in
+  for i = 1 to 4 do
+    Net.Link.send link
+      (Net.Packet.make ~id:i ~flow:1 ~size:Net.Packet.default_size ~marker
+         ~created:0. ())
+  done;
+  Sim.Engine.run engine;
+  Alcotest.(check (list int)) "odd ids forwarded" [ 1; 3 ]
+    (List.rev_map (fun p -> p.Net.Packet.id) !delivered);
+  Alcotest.(check bool) "markers stripped" true
+    (List.for_all (fun p -> not (Net.Packet.has_marker p)) !delivered);
+  Alcotest.(check bool) "even ids lost as Injected" true
+    (!reasons = [ Net.Link.Injected; Net.Link.Injected ]);
+  Net.Link.set_fault link None;
+  Net.Link.send link (mk_packet ~id:5 ());
+  Sim.Engine.run engine;
+  Alcotest.(check int) "hook cleared, packet delivered" 3 (List.length !delivered)
 
 let test_node_routes_and_sinks () =
   let engine, topology, a, b, _ = simple_net () in
@@ -537,10 +645,24 @@ let test_drr_fractional_weight () =
 let test_drr_validation () =
   Alcotest.check_raises "capacity" (Invalid_argument "Qdisc.drr: capacity must be positive")
     (fun () -> ignore (Net.Qdisc.drr ~weight:(fun _ -> 1.) ~capacity:0 ()));
-  let q = Net.Qdisc.drr ~weight:(fun _ -> 0.) ~capacity:1 () in
-  ignore (q.Net.Qdisc.enqueue (mk_packet ~id:1 ~flow:1 ()));
-  Alcotest.check_raises "weight" (Invalid_argument "Qdisc.drr: weight must be positive")
-    (fun () -> ignore (q.Net.Qdisc.dequeue ()))
+  Alcotest.check_raises "quantum" (Invalid_argument "Qdisc.drr: quantum must be positive")
+    (fun () ->
+      ignore (Net.Qdisc.drr ~weight:(fun _ -> 1.) ~quantum_unit:0 ~capacity:1 ()));
+  (* Weight is per-flow and only consulted when the flow takes the
+     service token, so bad weights surface at dequeue. *)
+  let reject name w =
+    let q = Net.Qdisc.drr ~weight:(fun _ -> w) ~capacity:1 () in
+    ignore (q.Net.Qdisc.enqueue (mk_packet ~id:1 ~flow:1 ()));
+    Alcotest.check_raises name
+      (Invalid_argument
+         (Printf.sprintf
+            "Qdisc.drr: weight of flow 1 must be finite and positive (got %h)" w))
+      (fun () -> ignore (q.Net.Qdisc.dequeue ()))
+  in
+  reject "zero weight" 0.;
+  reject "negative weight" (-1.);
+  reject "nan weight" Float.nan;
+  reject "infinite weight" Float.infinity
 
 (* ------------------------------------------------------------------ *)
 (* Probe *)
@@ -820,6 +942,53 @@ let test_source_emitted_counts_across_restarts () =
   Sim.Engine.run_until engine 4.;
   Alcotest.(check bool) "keeps counting" true (Net.Source.emitted src > first_life)
 
+(* Feedback-silence recovery (robustness extension): after
+   [silence_epochs] feedback-free linear epochs the additive probe
+   turns multiplicative, and any feedback snaps it back to additive. *)
+let test_source_silence_recovery () =
+  let engine = Sim.Engine.create () in
+  let params =
+    {
+      Net.Source.default_params with
+      Net.Source.initial_rate = 40.;
+      ss_thresh = 32.;
+      silence_epochs = 2;
+      restore = 2.;
+    }
+  in
+  let m = ref 0 in
+  let src, _ = make_source ~params ~collect:(fun () -> let v = !m in m := 0; v) engine in
+  Net.Source.start src;
+  (* Epochs at 0.5/1.0/1.5/2.0 s, all silent: 40 -> +1 -> 41 (silent=1),
+     then doubling once the streak reaches 2: 82, 164, 328. *)
+  Sim.Engine.run_until engine 2.01;
+  check_float "multiplicative restoration" 328. (Net.Source.rate src);
+  (* Feedback ends the silence: beta decrease now, additive probe after. *)
+  m := 1;
+  Sim.Engine.run_until engine 2.51;
+  check_float "feedback throttles" 327. (Net.Source.rate src);
+  Sim.Engine.run_until engine 3.01;
+  check_float "streak reset, additive again" 328. (Net.Source.rate src)
+
+let test_source_rejects_bad_recovery_params () =
+  let engine = Sim.Engine.create () in
+  let mk params () =
+    ignore
+      (Net.Source.create ~engine ~params
+         ~emit:(fun ~now:_ ~rate:_ -> ())
+         ~collect:no_feedback ())
+  in
+  Alcotest.check_raises "negative silence_epochs"
+    (Invalid_argument "Source.create: silence_epochs must be non-negative")
+    (mk { Net.Source.default_params with Net.Source.silence_epochs = -1 });
+  Alcotest.check_raises "restore <= 1"
+    (Invalid_argument "Source.create: restore must be a finite factor > 1")
+    (mk { Net.Source.default_params with Net.Source.silence_epochs = 3; restore = 1. });
+  Alcotest.check_raises "nan restore"
+    (Invalid_argument "Source.create: restore must be a finite factor > 1")
+    (mk
+       { Net.Source.default_params with Net.Source.silence_epochs = 3; restore = Float.nan })
+
 let test_source_rejects_bad_offset () =
   let engine = Sim.Engine.create () in
   Alcotest.check_raises "offset >= epoch"
@@ -940,6 +1109,13 @@ let () =
           Alcotest.test_case "queue change hook" `Quick test_link_queue_change_hook;
           Alcotest.test_case "capacity pps" `Quick test_link_capacity_pps;
           Alcotest.test_case "bad args" `Quick test_link_rejects_bad_args;
+          Alcotest.test_case "down purges and recovers" `Quick
+            test_link_down_purges_and_recovers;
+          Alcotest.test_case "send while down" `Quick test_link_send_while_down_drops;
+          Alcotest.test_case "reset purges but stays up" `Quick
+            test_link_reset_purges_but_stays_up;
+          Alcotest.test_case "fault hook strip/lose" `Quick
+            test_link_fault_hook_strip_and_lose;
         ] );
       ( "topology",
         [
@@ -998,6 +1174,9 @@ let () =
           Alcotest.test_case "stop stops" `Quick test_source_stop_stops_emitting;
           Alcotest.test_case "emitted counter" `Quick
             test_source_emitted_counts_across_restarts;
+          Alcotest.test_case "silence recovery" `Quick test_source_silence_recovery;
+          Alcotest.test_case "bad recovery params" `Quick
+            test_source_rejects_bad_recovery_params;
           Alcotest.test_case "bad offset" `Quick test_source_rejects_bad_offset;
           Alcotest.test_case "epoch offset" `Quick test_source_epoch_offset_shifts_adaptation;
         ] );

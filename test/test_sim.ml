@@ -264,13 +264,23 @@ let test_ring_wraparound_growth () =
 let prop_ring_matches_stdlib_queue =
   QCheck.Test.make ~name:"ring behaves exactly like a Stdlib.Queue model"
     ~count:300
-    (* ops: Some n = push n, None = pop-or-peek on alternating steps *)
-    QCheck.(list (option (int_bound 100)))
-    (fun ops ->
+    (* ops: Some n = push n, None = pop-or-peek on alternating steps.
+       [clears] salts a handful of Ring.clear/Queue.clear pairs into the
+       sequence (Link.reset empties its queues through clear, so the
+       model must keep matching across it — including wrap-around state
+       left by earlier pops). *)
+    QCheck.(pair (list (option (int_bound 100))) (small_list small_nat))
+    (fun (ops, clears) ->
       let r = Sim.Ring.create () in
       let model = Queue.create () in
       let ok = ref true in
       let step = ref 0 in
+      let n_ops = List.length ops in
+      let clear_steps =
+        List.filter_map
+          (fun c -> if n_ops = 0 then None else Some (c mod n_ops))
+          clears
+      in
       List.iter
         (fun op ->
           incr step;
@@ -290,6 +300,10 @@ let prop_ring_matches_stdlib_queue =
               if not (Sim.Ring.is_empty r) then ok := false
             | Some expected ->
               if Sim.Ring.peek_exn r <> expected then ok := false));
+          if List.mem (!step - 1) clear_steps then begin
+            Sim.Ring.clear r;
+            Queue.clear model
+          end;
           if Sim.Ring.length r <> Queue.length model then ok := false;
           if Sim.Ring.is_empty r <> Queue.is_empty model then ok := false)
         ops;

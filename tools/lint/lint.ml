@@ -12,6 +12,7 @@ type rule =
   | L4_mli_coverage
   | L5_unsafe
   | L6_hot_queue
+  | L7_fault_inject
   | Parse_error
 
 let rule_name = function
@@ -21,6 +22,7 @@ let rule_name = function
   | L4_mli_coverage -> "L4/mli-coverage"
   | L5_unsafe -> "L5/unsafe"
   | L6_hot_queue -> "L6/hot-queue"
+  | L7_fault_inject -> "L7/fault-inject"
   | Parse_error -> "parse-error"
 
 let waiver_token = function
@@ -30,6 +32,7 @@ let waiver_token = function
   | L4_mli_coverage -> Some "mli-ok"
   | L5_unsafe -> Some "unsafe-ok"
   | L6_hot_queue -> Some "queue-ok"
+  | L7_fault_inject -> Some "fault-ok"
   | Parse_error -> None
 
 type violation = {
@@ -69,6 +72,20 @@ let rec hot_components = function
   | [] -> false
 
 let in_hot_path path = hot_components (path_components path)
+
+(* The packet path: lib/net forwards, lib/corelite marks and drops.
+   Rule L7 confines loss coins there to Net.Fault. *)
+let rec fault_components = function
+  | "lib" :: ("net" | "corelite") :: _ -> true
+  | _ :: rest -> fault_components rest
+  | [] -> false
+
+let in_fault_path path = fault_components (path_components path)
+
+(* The one module allowed to flip loss coins against the data path. *)
+let fault_allowlisted path =
+  String.ends_with ~suffix:"lib/net/fault.ml" path
+  || String.ends_with ~suffix:"lib/net/fault.mli" path
 
 (* ------------------------------------------------------------------ *)
 (* Rule predicates over flattened identifier paths *)
@@ -131,6 +148,19 @@ let l6_banned_ident = function
        path must use Sim.Ring"
   | _ -> None
 
+(* Ad-hoc loss coins in the packet path. Matching the trailing
+   [bernoulli] component (Sim.Rng.bernoulli, Rng.bernoulli, a local
+   rebinding) is deliberately blunt: the handful of legitimate
+   algorithmic coins (RED early drop, the selectors' probabilistic
+   rounding) carry [lint: fault-ok] waivers stating what they are. *)
+let l7_banned_ident path =
+  match List.rev path with
+  | "bernoulli" :: _ ->
+    Some
+      "loss draws in lib/net and lib/corelite are confined to Net.Fault; \
+       inject faults through a Sim.Faultplan or waive with fault-ok"
+  | _ -> None
+
 (* A bare [exit] is only a violation when it is actually called —
    [exit] is also a perfectly good variable name (e.g. a flow's exit
    core), and without type information an identifier-position ban
@@ -189,6 +219,7 @@ type ctx = {
   file : string;
   lib_scope : bool;
   hot_scope : bool;
+  fault_scope : bool;
   rng_allowlisted : bool;
   pool_allowlisted : bool;
   mutable found : violation list;
@@ -223,9 +254,13 @@ let check_ident ctx (loc : Location.t) path =
      | Some msg -> add ctx L5_unsafe loc msg
      | None -> ()
    end);
-  if ctx.hot_scope then
-    match l6_banned_ident path with
-    | Some msg -> add ctx L6_hot_queue loc msg
+  (if ctx.hot_scope then
+     match l6_banned_ident path with
+     | Some msg -> add ctx L6_hot_queue loc msg
+     | None -> ());
+  if ctx.fault_scope then
+    match l7_banned_ident path with
+    | Some msg -> add ctx L7_fault_inject loc msg
     | None -> ()
 
 let is_hashtbl_create = function
@@ -338,6 +373,7 @@ let lint_file path =
         file = path;
         lib_scope = in_lib path;
         hot_scope = in_hot_path path;
+        fault_scope = in_fault_path path && not (fault_allowlisted path);
         rng_allowlisted = l1_allowlisted path;
         pool_allowlisted = pool_allowlisted path;
         found = [];

@@ -35,6 +35,15 @@
       every [Queue.push] allocates a cons cell. Use the growable ring
       buffer [Sim.Ring], whose steady-state push/pop allocate nothing.
       Other libraries (setup/reporting code) may still use [Queue].
+    - {b L7 fault injection}: [bernoulli] loss coins are banned inside
+      [lib/net] and [lib/corelite] — the packet path — except in
+      [lib/net/fault.ml]. Fault injection must enter the data path
+      through [Net.Fault] driving a declarative [Sim.Faultplan], never
+      as an ad-hoc [Sim.Rng] draw, so that chaos runs replay from
+      [(fault_seed, label)] alone and a fault-free run draws nothing.
+      The few legitimate algorithmic coins (RED's early drop, the
+      selectors' probabilistic rounding) carry [lint: fault-ok]
+      waivers naming what they are.
 
     A violation on line [n] is waived when line [n] or [n - 1] carries
     a comment containing [lint: <token>] with the rule's waiver token
@@ -48,6 +57,7 @@ type rule =
   | L4_mli_coverage
   | L5_unsafe
   | L6_hot_queue
+  | L7_fault_inject
   | Parse_error  (** a file that does not parse; never waivable *)
 
 (** Short machine-readable identifier, e.g. ["L1/determinism"]. *)
