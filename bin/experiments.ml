@@ -22,20 +22,60 @@ let domains = ref (Workload.Pool.default_domains ())
 
 let fault_seed = ref Workload.Chaos.default_fault_seed
 
+let trace_on = ref false
+
+let metrics_on = ref false
+
+(* Observability flags: figure runs are traced with the sparse control-
+   plane kinds (per-packet kinds would wrap any reasonable ring over an
+   800 s run) and exported to results/<id>_trace.jsonl / .csv; metric
+   registries go to results/<id>_metrics.csv. Only this coordinator
+   writes files, so pooled runs export the same bytes as serial ones. *)
+let trace_spec () =
+  Sim.Trace.spec ~capacity:(1 lsl 18) ~kinds:Sim.Trace.control_kinds ()
+
+let write_file ~path payload =
+  let oc = open_out path in
+  let finally () = close_out oc in
+  Fun.protect ~finally (fun () -> output_string oc payload)
+
+let export_observability (spec : Workload.Figures.spec)
+    (result : Workload.Runner.result) =
+  let engine = result.Workload.Runner.network.Workload.Network.engine in
+  let id = spec.Workload.Figures.id in
+  if !trace_on then begin
+    let tr = Sim.Engine.trace engine in
+    write_file
+      ~path:(Filename.concat results_dir (id ^ "_trace.jsonl"))
+      (Sim.Trace.to_jsonl tr);
+    write_file
+      ~path:(Filename.concat results_dir (id ^ "_trace.csv"))
+      (Sim.Trace.to_csv tr);
+    Printf.printf "%s: traced %d events (%d retained)\n" id
+      (Sim.Trace.recorded tr) (Sim.Trace.length tr)
+  end;
+  if !metrics_on then
+    write_file
+      ~path:(Filename.concat results_dir (id ^ "_metrics.csv"))
+      (Workload.Csv.of_metrics (Sim.Engine.metrics engine))
+
 let hr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 let figures () =
   hr "Figures 3-10";
+  let trace = if !trace_on then Some (trace_spec ()) else None in
   let runs =
-    Workload.Figures.run_all ~domains:!domains (Workload.Figures.all ())
+    Workload.Figures.run_all ~domains:!domains ?trace ~metrics:!metrics_on
+      (Workload.Figures.all ())
   in
   List.iter
     (fun (spec, result) ->
       let summary = Workload.Figures.summarize spec result in
       Workload.Figures.pp_summary Format.std_formatter summary;
       Workload.Csv.write_result ~dir:results_dir ~prefix:spec.Workload.Figures.id
-        result)
+        result;
+      export_observability spec result)
     runs;
   Printf.printf "\nCSV series written under %s/\n" results_dir
 
@@ -225,9 +265,17 @@ let () =
         "N  root seed of the chaos battery's fault plans; rerunning with \
          the same seed replays every fault draw byte-identically \
          (default 271828)" );
+      ( "--trace",
+        Arg.Set trace_on,
+        " record control-plane event traces for the figure runs and \
+         write results/<fig>_trace.jsonl and .csv" );
+      ( "--metrics",
+        Arg.Set metrics_on,
+        " enable the metrics registries and write \
+         results/<fig>_metrics.csv" );
     ]
     (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
-    "experiments.exe [-j N] [--fault-seed N]";
+    "experiments.exe [-j N] [--fault-seed N] [--trace] [--metrics]";
   Printf.printf "Corelite reproduction: full experiment suite\n";
   figures ();
   restart_recovery ();

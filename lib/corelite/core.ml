@@ -10,6 +10,7 @@ type t = {
   params : Params.t;
   estimator : Congestion.t;
   link : Net.Link.t;
+  trace : Sim.Trace.t;
   send_feedback : Net.Packet.marker -> unit;
   selector : selector_state;
   qlen : Sim.Stats.Time_weighted.t;
@@ -36,10 +37,20 @@ let markers_seen t = t.markers_seen
 
 let emit t marker =
   t.feedback_sent <- t.feedback_sent + 1;
+  if Sim.Trace.want t.trace Sim.Trace.Feedback_emit then
+    Sim.Trace.record t.trace
+      ~time:(Sim.Engine.now t.link.Net.Link.engine)
+      Sim.Trace.Feedback_emit ~a:t.link.Net.Link.id
+      ~b:marker.Net.Packet.flow_id ~x:marker.Net.Packet.normalized_rate ~y:0.;
   t.send_feedback marker
 
 let on_marker t marker =
   t.markers_seen <- t.markers_seen + 1;
+  if Sim.Trace.want t.trace Sim.Trace.Marker_seen then
+    Sim.Trace.record t.trace
+      ~time:(Sim.Engine.now t.link.Net.Link.engine)
+      Sim.Trace.Marker_seen ~a:t.link.Net.Link.id
+      ~b:marker.Net.Packet.flow_id ~x:marker.Net.Packet.normalized_rate ~y:0.;
   match t.selector with
   | Cache cache -> Cache_selector.observe cache marker
   | Stateless sel ->
@@ -76,13 +87,19 @@ let on_epoch t engine () =
   end;
   t.last_qavg <- qavg;
   t.last_fn <- fn;
+  (* Exactly one budget computation per core epoch per link — recorded
+     before the selector acts, so the oracle can check both the 100 ms
+     cadence and that every feedback burst follows a positive budget. *)
+  if Sim.Trace.want t.trace Sim.Trace.Epoch then
+    Sim.Trace.record t.trace ~time:now Sim.Trace.Epoch ~a:t.link.Net.Link.id
+      ~b:0 ~x:qavg ~y:fn;
   if fn > 0. then begin
     t.congested_epochs <- t.congested_epochs + 1;
     Log.debug (fun m ->
         m "t=%.3f link %s congested: qavg=%.2f fn=%.2f" now t.link.Net.Link.name qavg
           fn)
   end;
-  match t.selector with
+  (match t.selector with
   | Cache cache ->
     if fn > 0. then begin
       let count = Cache_selector.select_iter cache ~fn (emit t) in
@@ -98,7 +115,18 @@ let on_epoch t engine () =
               (int_of_float fn + 1))
           (count <= int_of_float fn + 1)
     end
-  | Stateless sel -> Stateless_selector.on_epoch sel ~fn
+  | Stateless sel -> Stateless_selector.on_epoch sel ~fn);
+  if Sim.Trace.want t.trace Sim.Trace.Selector then
+    match t.selector with
+    | Cache cache ->
+      Sim.Trace.record t.trace ~time:now Sim.Trace.Selector
+        ~a:t.link.Net.Link.id ~b:1
+        ~x:(float_of_int (Cache_selector.occupancy cache))
+        ~y:0.
+    | Stateless sel ->
+      Sim.Trace.record t.trace ~time:now Sim.Trace.Selector
+        ~a:t.link.Net.Link.id ~b:0 ~x:(Stateless_selector.pw sel)
+        ~y:(Stateless_selector.rav sel)
 
 (* Router reset: wipe every piece of soft state the core logic keeps —
    the marker cache (or stateless running averages and selection
@@ -147,6 +175,7 @@ let attach ?check_invariants ~params ~rng ~send_feedback link =
       params;
       estimator = Congestion.make params.Params.estimator;
       link;
+      trace = Sim.Engine.trace engine;
       send_feedback;
       selector;
       qlen;
@@ -176,6 +205,21 @@ let attach ?check_invariants ~params ~rng ~send_feedback link =
     }
   in
   link.Net.Link.hooks <- Some hooks;
+  let m = Sim.Engine.metrics engine in
+  let pfx = "corelite.core." ^ link.Net.Link.name ^ "." in
+  Sim.Metrics.probe m (pfx ^ "feedback_sent")
+    ~help:"feedback markers returned upstream"
+    (fun () -> float_of_int t.feedback_sent);
+  Sim.Metrics.probe m (pfx ^ "markers_seen")
+    ~help:"markers observed on arriving packets"
+    (fun () -> float_of_int t.markers_seen);
+  Sim.Metrics.probe m (pfx ^ "congested_epochs")
+    ~help:"epochs with a positive budget, i.e. qavg above qthresh"
+    (fun () -> float_of_int t.congested_epochs);
+  Sim.Metrics.probe m (pfx ^ "qavg") ~help:"last epoch's average queue"
+    (fun () -> t.last_qavg);
+  Sim.Metrics.probe m (pfx ^ "fn") ~help:"last epoch's marker budget Fn"
+    (fun () -> t.last_fn);
   t
 
 let detach t =

@@ -6,6 +6,7 @@ type t = {
   params : Params.t;
   topology : Net.Topology.t;
   flow : Net.Flow.t;
+  trace : Sim.Trace.t;
   floor : float;
   supply : (unit -> Net.Packet.t option) option;
   deliver : (Net.Packet.t -> unit) option;
@@ -71,13 +72,13 @@ let emit t ~now ~rate =
       (* The advertised normalized rate covers only the contended part
          of the flow's rate: traffic under a contracted floor is
          reserved capacity and must not attract selective feedback. *)
+      let edge_id = (Net.Flow.ingress t.flow).Net.Node.id in
+      let normalized_rate = Float.max 0. (rate -. t.floor) /. weight in
       pkt.Net.Packet.marker <-
-        Some
-          {
-            Net.Packet.edge_id = (Net.Flow.ingress t.flow).Net.Node.id;
-            flow_id = t.flow.Net.Flow.id;
-            normalized_rate = Float.max 0. (rate -. t.floor) /. weight;
-          }
+        Some { Net.Packet.edge_id; flow_id = t.flow.Net.Flow.id; normalized_rate };
+      if Sim.Trace.want t.trace Sim.Trace.Marker_attach then
+        Sim.Trace.record t.trace ~time:now Sim.Trace.Marker_attach
+          ~a:t.flow.Net.Flow.id ~b:edge_id ~x:normalized_rate ~y:0.
     end;
     t.sent <- t.sent + 1;
     Net.Node.receive (Net.Flow.ingress t.flow) pkt
@@ -85,11 +86,13 @@ let emit t ~now ~rate =
 let create ~params ~topology ~flow ?(floor = 0.) ?(epoch_offset = 0.) ?supply
     ?deliver () =
   let source_params = { params.Params.source with Net.Source.floor } in
+  let engine = Net.Topology.engine topology in
   let t =
     {
       params;
       topology;
       flow;
+      trace = Sim.Engine.trace engine;
       floor;
       supply;
       deliver;
@@ -108,9 +111,24 @@ let create ~params ~topology ~flow ?(floor = 0.) ?(epoch_offset = 0.) ?supply
   in
   t.source <-
     Some
-      (Net.Source.create ~engine:(Net.Topology.engine topology) ~epoch_offset ~params:source_params
+      (Net.Source.create ~engine ~id:flow.Net.Flow.id ~epoch_offset
+         ~params:source_params
          ~emit:(fun ~now ~rate -> emit t ~now ~rate)
          ~collect:(collect_max t) ());
+  let m = Sim.Engine.metrics engine in
+  let pfx = Printf.sprintf "corelite.flow.%d." flow.Net.Flow.id in
+  Sim.Metrics.probe m (pfx ^ "sent") ~help:"packets injected at the ingress"
+    (fun () -> float_of_int t.sent);
+  Sim.Metrics.probe m (pfx ^ "delivered") ~help:"packets that reached the sink"
+    (fun () -> float_of_int t.delivered);
+  Sim.Metrics.probe m (pfx ^ "markers_attached")
+    ~help:"packets carrying a marker, one per marker_spacing"
+    (fun () -> float_of_int t.markers_attached);
+  Sim.Metrics.probe m (pfx ^ "feedback_received")
+    ~help:"feedback markers returned to this edge"
+    (fun () -> float_of_int t.feedback_received);
+  Sim.Metrics.probe m (pfx ^ "rate") ~help:"current allowed rate bg, pkt/s"
+    (fun () -> rate t);
   t
 
 let start t =
@@ -148,6 +166,10 @@ let set_backlogged t backlogged = Net.Source.set_active (source t) backlogged
 let receive_feedback t ~link_id _marker =
   if running t then begin
     t.feedback_received <- t.feedback_received + 1;
+    if Sim.Trace.want t.trace Sim.Trace.Feedback_recv then
+      Sim.Trace.record t.trace
+        ~time:(Sim.Engine.now (Net.Topology.engine t.topology))
+        Sim.Trace.Feedback_recv ~a:t.flow.Net.Flow.id ~b:link_id ~x:0. ~y:0.;
     Log.debug (fun m ->
         m "flow %d: feedback from link %d (bg=%.1f)" t.flow.Net.Flow.id link_id
           (rate t));

@@ -5,6 +5,7 @@ module Log = (val Logs.src_log log : Logs.LOG)
 type t = {
   params : Params.t;
   link : Net.Link.t;
+  trace : Sim.Trace.t;
   rng : Sim.Rng.t;
   capacity : float;  (* pkt/s *)
   arrival : Rate_estimator.t;
@@ -28,6 +29,14 @@ let accepted_rate t = Rate_estimator.value t.accepted
 
 let early_drops t = t.early_drops
 
+(* Every revision of the fair-share estimate goes through here so the
+   trace sees each [Alpha_update] exactly once. *)
+let set_alpha t ~now v =
+  t.alpha <- Some v;
+  if Sim.Trace.want t.trace Sim.Trace.Alpha_update then
+    Sim.Trace.record t.trace ~time:now Sim.Trace.Alpha_update
+      ~a:t.link.Net.Link.id ~b:0 ~x:v ~y:0.
+
 (* Fair-share update, run on every arrival after the rate estimates
    (SIGCOMM '98 estimate_alpha). *)
 let estimate_alpha t ~now ~label =
@@ -41,7 +50,7 @@ let estimate_alpha t ~now ~label =
     else if now > t.window_start +. t.params.Params.k_link then begin
       (match t.alpha with
       | Some alpha when f > 0. ->
-        t.alpha <- Some (alpha *. t.capacity /. f);
+        set_alpha t ~now (alpha *. t.capacity /. f);
         Log.debug (fun m ->
             m "t=%.3f link %s alpha %.2f -> %.2f (A=%.1f F=%.1f)" now
               t.link.Net.Link.name alpha
@@ -51,7 +60,7 @@ let estimate_alpha t ~now ~label =
       | None ->
         (* First congestion before any uncongested window: bootstrap
            from the labels seen so far. *)
-        if t.tmp_alpha > 0. then t.alpha <- Some t.tmp_alpha);
+        if t.tmp_alpha > 0. then set_alpha t ~now t.tmp_alpha);
       t.window_start <- now
     end
   end
@@ -64,7 +73,7 @@ let estimate_alpha t ~now ~label =
     else begin
       t.tmp_alpha <- Float.max t.tmp_alpha label;
       if now > t.window_start +. t.params.Params.k_link then begin
-        t.alpha <- Some t.tmp_alpha;
+        set_alpha t ~now t.tmp_alpha;
         t.window_start <- now;
         t.tmp_alpha <- 0.
       end
@@ -98,7 +107,10 @@ let on_arrival t pkt =
 
 let note_overflow t =
   match t.alpha with
-  | Some alpha -> t.alpha <- Some (alpha *. t.params.Params.overflow_penalty)
+  | Some alpha ->
+    set_alpha t
+      ~now:(Sim.Engine.now t.link.Net.Link.engine)
+      (alpha *. t.params.Params.overflow_penalty)
   | None -> ()
 
 let attach ~params ~rng link =
@@ -108,6 +120,7 @@ let attach ~params ~rng link =
     {
       params;
       link;
+      trace = Sim.Engine.trace link.Net.Link.engine;
       rng;
       capacity = Net.Link.capacity_pps link;
       arrival = Rate_estimator.create ~k:params.Params.k_link;
@@ -125,6 +138,14 @@ let attach ~params ~rng link =
         Net.Link.on_arrival = (fun pkt -> on_arrival t pkt);
         on_queue_change = (fun _ -> ());
       };
+  let m = Sim.Engine.metrics link.Net.Link.engine in
+  let pfx = "csfq.core." ^ link.Net.Link.name ^ "." in
+  Sim.Metrics.probe m (pfx ^ "early_drops")
+    ~help:"probabilistic drops against the fair share"
+    (fun () -> float_of_int t.early_drops);
+  Sim.Metrics.probe m (pfx ^ "alpha")
+    ~help:"fair-share estimate, pkt/s; -1 before the first estimate"
+    (fun () -> match t.alpha with Some a -> a | None -> -1.);
   t
 
 let detach t = t.link.Net.Link.hooks <- None

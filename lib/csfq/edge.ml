@@ -1,6 +1,7 @@
 type t = {
   topology : Net.Topology.t;
   flow : Net.Flow.t;
+  trace : Sim.Trace.t;
   mutable source : Net.Source.t option;  (* set once in [create] *)
   estimator : Rate_estimator.t;
   mutable pending_losses : int;
@@ -51,10 +52,12 @@ let emit t ~now ~rate:_ =
 
 let create ~params ~topology ~flow ?(floor = 0.) ?(epoch_offset = 0.) () =
   let source_params = { params.Params.source with Net.Source.floor } in
+  let engine = Net.Topology.engine topology in
   let t =
     {
       topology;
       flow;
+      trace = Sim.Engine.trace engine;
       source = None;
       estimator = Rate_estimator.create ~k:params.Params.k_flow;
       pending_losses = 0;
@@ -69,9 +72,20 @@ let create ~params ~topology ~flow ?(floor = 0.) ?(epoch_offset = 0.) () =
   in
   t.source <-
     Some
-      (Net.Source.create ~engine:(Net.Topology.engine topology) ~epoch_offset ~params:source_params
+      (Net.Source.create ~engine ~id:flow.Net.Flow.id ~epoch_offset
+         ~params:source_params
          ~emit:(fun ~now ~rate -> emit t ~now ~rate)
          ~collect:(collect_losses t) ());
+  let m = Sim.Engine.metrics engine in
+  let pfx = Printf.sprintf "csfq.flow.%d." flow.Net.Flow.id in
+  Sim.Metrics.probe m (pfx ^ "sent") ~help:"packets injected at the ingress"
+    (fun () -> float_of_int t.sent);
+  Sim.Metrics.probe m (pfx ^ "delivered") ~help:"packets that reached the sink"
+    (fun () -> float_of_int t.delivered);
+  Sim.Metrics.probe m (pfx ^ "losses") ~help:"loss signals, the CSFQ feedback"
+    (fun () -> float_of_int t.losses);
+  Sim.Metrics.probe m (pfx ^ "rate") ~help:"current allowed rate bg, pkt/s"
+    (fun () -> rate t);
   t
 
 let start t =
@@ -95,5 +109,11 @@ let note_loss t =
   if running t then begin
     t.losses <- t.losses + 1;
     t.pending_losses <- t.pending_losses + 1;
+    (* b = -1: the congestion signal is a local loss observation, not
+       feedback from an identified core link. *)
+    if Sim.Trace.want t.trace Sim.Trace.Feedback_recv then
+      Sim.Trace.record t.trace
+        ~time:(Sim.Engine.now (Net.Topology.engine t.topology))
+        Sim.Trace.Feedback_recv ~a:t.flow.Net.Flow.id ~b:(-1) ~x:0. ~y:0.;
     Net.Source.signal_congestion (source t)
   end

@@ -33,6 +33,7 @@ type t = {
   delay : float;
   qdisc : Qdisc.t;
   engine : Sim.Engine.t;
+  trace : Sim.Trace.t;
   mutable busy : bool;
   mutable in_service : Packet.t;
   wire : Packet.t Sim.Ring.t;
@@ -62,8 +63,15 @@ let notify_queue_change t =
   | Some h -> h.on_queue_change (queue_length t)
   | None -> ()
 
+let reason_code = function Filtered -> 0 | Queue_full -> 1 | Injected -> 2 | Down -> 3
+
 let drop t reason pkt =
   t.drops <- t.drops + 1;
+  if Sim.Trace.want t.trace Sim.Trace.Drop then
+    Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) Sim.Trace.Drop
+      ~a:t.id ~b:pkt.Packet.flow
+      ~x:(float_of_int (reason_code reason))
+      ~y:0.;
   match t.on_drop with Some f -> f reason pkt | None -> ()
 
 (* Packet conservation: every arrival is accounted for exactly once —
@@ -147,6 +155,11 @@ let purge t reason =
 let set_up t up =
   if up <> t.up then begin
     t.up <- up;
+    if Sim.Trace.want t.trace Sim.Trace.Fault then
+      Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) Sim.Trace.Fault
+        ~a:t.id ~b:(-1)
+        ~x:(if up then 3. else 2.)
+        ~y:0.;
     if up then begin
       if not t.busy then start_transmission t
     end
@@ -166,6 +179,12 @@ let create ?check_invariants ~engine ~id ~name ~src ~dst ~bandwidth ~delay ~qdis
   let check =
     match check_invariants with Some b -> b | None -> Sim.Invariant.default ()
   in
+  let trace = Sim.Engine.trace engine in
+  (* Trace first, invariants on top: the audit then covers the traced
+     closures, and both wrappers are allocated once per link. *)
+  let qdisc =
+    Qdisc.with_trace ~trace ~now:(fun () -> Sim.Engine.now engine) ~link:id qdisc
+  in
   let qdisc = if check then Qdisc.with_invariants qdisc else qdisc in
   let t =
     {
@@ -177,6 +196,7 @@ let create ?check_invariants ~engine ~id ~name ~src ~dst ~bandwidth ~delay ~qdis
       delay;
       qdisc;
       engine;
+      trace;
       busy = false;
       (* Placeholder occupying [in_service] while idle; never read
          ([busy] gates every access). *)
@@ -198,6 +218,25 @@ let create ?check_invariants ~engine ~id ~name ~src ~dst ~bandwidth ~delay ~qdis
     }
   in
   arm t;
+  (* Pull probes: sampled only when the registry exports, so they add
+     nothing to the per-packet path. *)
+  let m = Sim.Engine.metrics engine in
+  let pfx = "link." ^ name ^ "." in
+  Sim.Metrics.probe m (pfx ^ "arrivals")
+    ~help:"packets that arrived, including those later dropped"
+    (fun () -> float_of_int t.arrivals);
+  Sim.Metrics.probe m (pfx ^ "departures")
+    ~help:"packets fully serialized onto the wire"
+    (fun () -> float_of_int t.departures);
+  Sim.Metrics.probe m (pfx ^ "drops")
+    ~help:"packets lost: filtered, queue-full, injected, or down"
+    (fun () -> float_of_int t.drops);
+  Sim.Metrics.probe m (pfx ^ "bytes_sent")
+    ~help:"payload bytes serialized"
+    (fun () -> float_of_int t.bytes_sent);
+  Sim.Metrics.probe m (pfx ^ "queue")
+    ~help:"packets waiting right now, excluding the one in service"
+    (fun () -> float_of_int (queue_length t));
   t
 
 let send t pkt =
@@ -215,6 +254,9 @@ let send t pkt =
          | Forward -> true
          | Strip ->
            pkt.Packet.marker <- None;
+           if Sim.Trace.want t.trace Sim.Trace.Fault then
+             Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine)
+               Sim.Trace.Fault ~a:t.id ~b:pkt.Packet.flow ~x:1. ~y:0.;
            true
          | Lose ->
            drop t Injected pkt;

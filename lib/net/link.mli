@@ -45,6 +45,9 @@ type t = {
   delay : float;  (** propagation, seconds *)
   qdisc : Qdisc.t;
   engine : Sim.Engine.t;
+  trace : Sim.Trace.t;
+      (** the engine's tracer, cached so drop/fault recording sites
+          need no indirection *)
   mutable busy : bool;
   mutable in_service : Packet.t;
       (** the packet being serialized; a placeholder (id [-1]) while

@@ -418,3 +418,35 @@ let with_invariants t =
     pkt
   in
   { t with enqueue; dequeue }
+
+(* Trace wrapping composes under [with_invariants] (Link applies trace
+   first, invariants on top), so the audited view includes the traced
+   closures. The [want] guards make the wrapped closures cost two loads
+   and a branch over the bare discipline while tracing is off — nothing
+   is allocated either way, keeping the §7 hot-path budget intact. *)
+let with_trace ~trace ~now ~link t =
+  let enqueue pkt =
+    let action = t.enqueue pkt in
+    (match action with
+    | Enqueued ->
+      if Sim.Trace.want trace Sim.Trace.Enqueue then
+        Sim.Trace.record trace ~time:(now ()) Sim.Trace.Enqueue
+          ~a:link ~b:pkt.Packet.flow
+          ~x:(float_of_int (t.length ()))
+          ~y:0.
+    | Dropped -> ());
+    action
+  in
+  let dequeue () =
+    let pkt = t.dequeue () in
+    (match pkt with
+    | Some p ->
+      if Sim.Trace.want trace Sim.Trace.Dequeue then
+        Sim.Trace.record trace ~time:(now ()) Sim.Trace.Dequeue
+          ~a:link ~b:p.Packet.flow
+          ~x:(float_of_int (t.length ()))
+          ~y:0.
+    | None -> ());
+    pkt
+  in
+  { t with enqueue; dequeue }

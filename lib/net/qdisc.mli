@@ -109,3 +109,14 @@ val classful :
     inconsistency. {!Link.create} applies this automatically when its
     [check_invariants] flag is on. *)
 val with_invariants : t -> t
+
+(** [with_trace ~trace ~now ~link t] wraps [t] so every successful
+    enqueue and dequeue records a [Sim.Trace.Enqueue]/[Dequeue] event
+    (link id [link], the packet's flow, queue length after the
+    operation) when the tracer wants those kinds. Failed enqueues are
+    not recorded here — {!Link} records the authoritative [Drop] event
+    with its reason. Costs two loads and a branch per operation while
+    tracing is off; allocates nothing either way. {!Link.create}
+    applies this automatically. *)
+val with_trace :
+  trace:Sim.Trace.t -> now:(unit -> float) -> link:int -> t -> t

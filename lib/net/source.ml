@@ -29,6 +29,8 @@ type phase = Slow_start | Linear
 
 type t = {
   engine : Sim.Engine.t;
+  id : int;
+  trace : Sim.Trace.t;
   params : params;
   epoch_offset : float;
   emit : now:float -> rate:float -> unit;
@@ -51,6 +53,16 @@ type t = {
   mutable ss_timer : Sim.Engine.handle option;
 }
 
+(* Every point where [rate] changes records a [Rate_update] — the
+   shaping oracle replays these against the packets actually enqueued
+   to check conformance. Rate changes happen at epoch granularity, so
+   the guard-and-record costs nothing measurable. *)
+let note_rate t =
+  if Sim.Trace.want t.trace Sim.Trace.Rate_update then
+    Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine)
+      Sim.Trace.Rate_update ~a:t.id ~b:0 ~x:t.rate
+      ~y:(match t.phase with Slow_start -> 0. | Linear -> 1.)
+
 let emit_one t =
   if t.active then begin
     t.emitted <- t.emitted + 1;
@@ -69,7 +81,7 @@ let pace t =
     schedule_pace t
   end
 
-let create ~engine ?(epoch_offset = 0.) ~params ~emit ~collect () =
+let create ~engine ?(id = -1) ?(epoch_offset = 0.) ~params ~emit ~collect () =
   if params.initial_rate <= 0. then invalid_arg "Source.create: initial_rate";
   if params.epoch <= 0. then invalid_arg "Source.create: epoch";
   if params.silence_epochs < 0 then
@@ -83,6 +95,8 @@ let create ~engine ?(epoch_offset = 0.) ~params ~emit ~collect () =
   let t =
     {
       engine;
+      id;
+      trace = Sim.Engine.trace engine;
       params;
       epoch_offset;
       emit;
@@ -119,6 +133,7 @@ let exit_slow_start t =
     ignore (t.collect ());
     t.rate <- Float.max (rate_floor t) (t.rate /. 2.);
     t.phase <- Linear;
+    note_rate t;
     match t.ss_timer with
     | Some h ->
       Sim.Engine.cancel h;
@@ -154,16 +169,19 @@ let on_epoch t () =
            count. *)
         if t.params.silence_epochs > 0 && t.silent >= t.params.silence_epochs then
           t.rate <- t.rate *. t.params.restore
-        else t.rate <- t.rate +. t.params.alpha
+        else t.rate <- t.rate +. t.params.alpha;
+        note_rate t
       end
       else begin
         t.silent <- 0;
-        t.rate <- Float.max (rate_floor t) (t.rate -. (t.params.beta *. float_of_int m))
+        t.rate <- Float.max (rate_floor t) (t.rate -. (t.params.beta *. float_of_int m));
+        note_rate t
       end
 
 let on_ss_tick t () =
   if t.phase = Slow_start then begin
     t.rate <- t.rate *. 2.;
+    note_rate t;
     if t.rate > t.params.ss_thresh then exit_slow_start t
   end
 
@@ -189,6 +207,7 @@ let start t =
   t.phase <- (if t.rate >= t.params.ss_thresh then Linear else Slow_start);
   t.silent <- 0;
   t.running <- true;
+  note_rate t;
   let now = Sim.Engine.now t.engine in
   t.epoch_timer <-
     Some

@@ -59,6 +59,10 @@ type t
     return the number of congestion indications accumulated since the
     previous call and reset its counter.
 
+    [id] (default [-1]) labels this source's [Sim.Trace.Rate_update]
+    events; schemes pass the flow id so traces can be joined against
+    per-flow enqueues.
+
     [epoch_offset] (default 0, must be in [0, epoch)) phase-shifts the
     agent's adaptation and slow-start timers. Deployments draw it at
     random per flow: edge routers are not clock-synchronized, and
@@ -66,6 +70,7 @@ type t
     same instant — an artifact a packet-level simulator must avoid. *)
 val create :
   engine:Sim.Engine.t ->
+  ?id:int ->
   ?epoch_offset:float ->
   params:params ->
   emit:(now:float -> rate:float -> unit) ->

@@ -17,13 +17,23 @@ type t = {
   mutable executed : int;
   queue : (unit -> unit) Event_queue.t;
   mutable check : bool;
+  trace : Trace.t;
+  metrics : Metrics.t;
 }
 
 let create ?check_invariants () =
   let check =
     match check_invariants with Some b -> b | None -> Invariant.default ()
   in
-  { clock = { time = 0. }; seq = 0; executed = 0; queue = Event_queue.create (); check }
+  {
+    clock = { time = 0. };
+    seq = 0;
+    executed = 0;
+    queue = Event_queue.create ();
+    check;
+    trace = Trace.create ();
+    metrics = Metrics.create ();
+  }
 
 let reset ?check_invariants t =
   t.clock.time <- 0.;
@@ -33,10 +43,19 @@ let reset ?check_invariants t =
   t.seq <- 0;
   t.executed <- 0;
   Event_queue.clear t.queue;
+  (* Observability state is per-scenario: a pooled worker reusing this
+     engine must start the next job with a pristine tracer and an empty
+     metrics registry, or traces would leak across scenarios. *)
+  Trace.reset t.trace;
+  Metrics.reset t.metrics;
   t.check <-
     (match check_invariants with Some b -> b | None -> Invariant.default ())
 
 let now t = t.clock.time
+
+let trace t = t.trace
+
+let metrics t = t.metrics
 
 let executed t = t.executed
 

@@ -35,6 +35,16 @@ val reset : ?check_invariants:bool -> t -> unit
 (** Current virtual time in seconds. *)
 val now : t -> float
 
+(** The engine's event tracer — one per engine, disabled until
+    [Sim.Trace.enable]; components grab it at construction and guard
+    every recording site with [Sim.Trace.want]. {!reset} returns it to
+    the disabled, empty state. *)
+val trace : t -> Trace.t
+
+(** The engine's metrics registry — one per engine; components register
+    probes at construction. {!reset} empties it. *)
+val metrics : t -> Metrics.t
+
 (** Number of events still pending. *)
 val pending : t -> int
 

@@ -42,3 +42,9 @@ module Stats = Stats
 
 (** Append-only (time, value) series with windows and smoothing. *)
 module Timeseries = Timeseries
+
+(** Structured ring-buffer event tracing (one tracer per {!Engine}). *)
+module Trace = Trace
+
+(** Counter/gauge/histogram/probe registry (one per {!Engine}). *)
+module Metrics = Metrics

@@ -1,3 +1,74 @@
+(* RFC 4180 quoting: a field containing a comma, a double quote, or a
+   line break is wrapped in double quotes with embedded quotes doubled.
+   The numeric wide-series exports below never need it, but metric rows
+   carry free-text help strings ("packets that arrived, including
+   drops") that silently corrupted the column structure before this
+   existed. *)
+let field s =
+  let needs_quoting =
+    String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+  in
+  if not needs_quoting then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+
+let row fields = String.concat "," (List.map field fields)
+
+(* Minimal RFC 4180 reader — enough to round-trip our own exports and
+   to regression-test the quoting above. Accepts LF and CRLF line ends;
+   a quoted field may contain commas, line breaks and doubled quotes. *)
+let parse text =
+  let rows = ref [] in
+  let fields = ref [] in
+  let b = Buffer.create 32 in
+  let n = String.length text in
+  let flush_field () =
+    fields := Buffer.contents b :: !fields;
+    Buffer.clear b
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  while !i < n do
+    let c = text.[!i] in
+    if !in_quotes then begin
+      if c = '"' then
+        if !i + 1 < n && text.[!i + 1] = '"' then begin
+          Buffer.add_char b '"';
+          incr i
+        end
+        else in_quotes := false
+      else Buffer.add_char b c
+    end
+    else begin
+      match c with
+      | '"' -> in_quotes := true
+      | ',' -> flush_field ()
+      | '\n' -> flush_row ()
+      | '\r' ->
+        (* CRLF counts as one line end; a lone CR still ends the row. *)
+        if !i + 1 < n && text.[!i + 1] = '\n' then incr i;
+        flush_row ()
+      | c -> Buffer.add_char b c
+    end;
+    incr i
+  done;
+  if !in_quotes then invalid_arg "Csv.parse: unterminated quoted field";
+  if Buffer.length b > 0 || !fields <> [] then flush_row ();
+  List.rev !rows
+
 let to_string series =
   let buf = Buffer.create 4096 in
   let ids = List.map fst series in
@@ -28,17 +99,39 @@ let result_strings (result : Runner.result) =
     ("cumulative", to_string result.Runner.cumulative);
   ]
 
+let of_metrics registry =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "name,kind,value,help\n";
+  List.iter
+    (fun r ->
+      let value =
+        if Float.is_integer r.Sim.Metrics.value
+           && Float.abs r.Sim.Metrics.value < 1e15
+        then Printf.sprintf "%.1f" r.Sim.Metrics.value
+        else Printf.sprintf "%.9g" r.Sim.Metrics.value
+      in
+      Buffer.add_string b
+        (row [ r.Sim.Metrics.name; r.Sim.Metrics.kind; value; r.Sim.Metrics.help ]);
+      Buffer.add_char b '\n')
+    (Sim.Metrics.rows registry);
+  Buffer.contents b
+
+(* These two writers predate rule L8 and are the sanctioned exception:
+   they exist precisely so callers can hand a path to the coordinator
+   level without re-implementing file plumbing. New telemetry must
+   return strings instead. *)
 let write_series ~path series =
-  let oc = open_out path in
+  let oc = open_out path (* lint: trace-ok — the sanctioned CSV writer *) in
   let finally () = close_out oc in
-  Fun.protect ~finally (fun () -> output_string oc (to_string series))
+  Fun.protect ~finally (fun () ->
+      output_string oc (to_string series) (* lint: trace-ok *))
 
 let write_result ~dir ~prefix (result : Runner.result) =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   List.iter
     (fun (kind, payload) ->
       let path = Filename.concat dir (Printf.sprintf "%s_%s.csv" prefix kind) in
-      let oc = open_out path in
+      let oc = open_out path (* lint: trace-ok — the sanctioned CSV writer *) in
       let finally () = close_out oc in
-      Fun.protect ~finally (fun () -> output_string oc payload))
+      Fun.protect ~finally (fun () -> output_string oc payload (* lint: trace-ok *)))
     (result_strings result)

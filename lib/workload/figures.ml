@@ -134,19 +134,21 @@ let fig10 () = fig910 ~id:"fig10" ~title:"Flow churn (CSFQ)" ~scheme:csfq ()
 let all () =
   [ fig3 (); fig4 (); fig5 (); fig6 (); fig7 (); fig8 (); fig9 (); fig10 () ]
 
-let run ?(seed = 42) spec =
+let run ?(seed = 42) ?trace ?metrics spec =
   let engine = Sim.Engine.create () in
   let network = spec.make_network ~engine in
-  Runner.run ~scheme:spec.scheme ~network ~seed ~schedule:spec.schedule
-    ~duration:spec.duration ()
+  Runner.run ~scheme:spec.scheme ~network ~seed ?trace ?metrics
+    ~schedule:spec.schedule ~duration:spec.duration ()
 
 (* Figure scenarios keep their historical RNG derivation (the root seed
    itself), so published tables survive; the job closure is what the
-   pool shards. *)
-let job ?seed spec = Pool.job ~id:spec.id (fun () -> run ?seed spec)
+   pool shards. Each job creates its own engine, so traces stay
+   isolated per scenario whether jobs run serially or on domains. *)
+let job ?seed ?trace ?metrics spec =
+  Pool.job ~id:spec.id (fun () -> run ?seed ?trace ?metrics spec)
 
-let run_all ?domains ?seed specs =
-  List.combine specs (Pool.map ?domains (List.map (job ?seed) specs))
+let run_all ?domains ?seed ?trace ?metrics specs =
+  List.combine specs (Pool.map ?domains (List.map (job ?seed ?trace ?metrics) specs))
 
 type flow_row = { flow : int; weight : float; measured : float; expected : float }
 

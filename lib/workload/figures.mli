@@ -54,19 +54,29 @@ val fig10 : unit -> spec
 
 val all : unit -> spec list
 
-(** Build the network, play the schedule, return the series. *)
-val run : ?seed:int -> spec -> Runner.result
+(** Build the network, play the schedule, return the series. [trace]
+    and [metrics] arm the run's engine as in {!Runner.run}; export from
+    [result.network.engine] afterwards. *)
+val run : ?seed:int -> ?trace:Sim.Trace.spec -> ?metrics:bool -> spec -> Runner.result
 
 (** The same run packaged as a pool job (id = [spec.id]). The figure
     keeps its historical RNG derivation — [Sim.Rng.create seed] — so
     pooled regeneration is bit-identical to the serial tables already
-    published in EXPERIMENTS.md. *)
-val job : ?seed:int -> spec -> Runner.result Pool.job
+    published in EXPERIMENTS.md. Each job builds its own engine, so
+    per-scenario traces never mix whether the pool runs jobs serially
+    or across domains. *)
+val job :
+  ?seed:int -> ?trace:Sim.Trace.spec -> ?metrics:bool -> spec -> Runner.result Pool.job
 
 (** [run_all ~domains specs] runs the specs through {!Pool.map} and
     pairs each with its result, in submission order. *)
 val run_all :
-  ?domains:int -> ?seed:int -> spec list -> (spec * Runner.result) list
+  ?domains:int ->
+  ?seed:int ->
+  ?trace:Sim.Trace.spec ->
+  ?metrics:bool ->
+  spec list ->
+  (spec * Runner.result) list
 
 type flow_row = {
   flow : int;

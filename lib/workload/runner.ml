@@ -111,10 +111,20 @@ let csfq_driver ?attach_cores params ~rng ~network ~floors =
           (Csfq.Deployment.cores d));
   }
 
-let run ~scheme ~network ?(seed = 42) ?rng ?fault ?(sample_period = 1.)
-    ?(floors = []) ?(bursty = []) ?(burst_distribution = Net.Onoff.Exponential)
-    ~schedule ~duration () =
+let run ~scheme ~network ?(seed = 42) ?rng ?fault ?trace ?(metrics = false)
+    ?(sample_period = 1.) ?(floors = []) ?(bursty = [])
+    ?(burst_distribution = Net.Onoff.Exponential) ~schedule ~duration () =
   let engine = network.Network.engine in
+  (* Arm observability before the deployment is built so construction-
+     time events (initial rate updates at the first Start) are caught.
+     Recording is a pure observer: with [trace]/[metrics] omitted every
+     instrumentation site stays behind a false guard and the run is
+     byte-identical to an untraced one. *)
+  (match trace with
+  | Some spec -> Sim.Trace.apply (Sim.Engine.trace engine) spec
+  | None -> ());
+  let registry = Sim.Engine.metrics engine in
+  if metrics then Sim.Metrics.set_enabled registry true;
   let rng = match rng with Some r -> r | None -> Sim.Rng.create seed in
   (* The injector draws only from the plan's own (seed, label)-derived
      substreams, so wiring it here perturbs nothing: with [fault]
@@ -162,8 +172,23 @@ let run ~scheme ~network ?(seed = 42) ?rng ?fault ?(sample_period = 1.)
   let cumulatives = series "cumulative-flow" in
   let previous_delivered = Hashtbl.create 32 in
   List.iter (fun id -> Hashtbl.replace previous_delivered id 0) ids;
+  let m_samples =
+    if Sim.Metrics.enabled registry then
+      Some
+        (Sim.Metrics.counter registry "runner.samples"
+           ~help:"sampling ticks taken, one per sample_period")
+    else None
+  in
+  let m_goodput =
+    if Sim.Metrics.enabled registry then
+      Some
+        (Sim.Metrics.histogram registry "runner.goodput"
+           ~help:"per-flow goodput samples, pkt/s, across all flows")
+    else None
+  in
   let sample () =
     let now = Sim.Engine.now engine in
+    (match m_samples with Some c -> Sim.Metrics.incr c | None -> ());
     List.iter
       (fun id ->
         Sim.Timeseries.add (List.assoc id rates) now (driver.rate id);
@@ -171,6 +196,9 @@ let run ~scheme ~network ?(seed = 42) ?rng ?fault ?(sample_period = 1.)
         let before = Hashtbl.find previous_delivered id in
         Hashtbl.replace previous_delivered id total;
         let goodput = float_of_int (total - before) /. sample_period in
+        (match m_goodput with
+        | Some h -> Sim.Metrics.observe h goodput
+        | None -> ());
         Sim.Timeseries.add (List.assoc id goodputs) now goodput;
         Sim.Timeseries.add (List.assoc id cumulatives) now (float_of_int total))
       ids

@@ -68,13 +68,23 @@ type result = {
     the run byte-identical to a fault-free one.
     @raise Invalid_argument if the plan carries router resets and the
     scheme is not [Corelite], names an unknown link/flow, or schedules
-    faults in the simulated past. *)
+    faults in the simulated past.
+
+    [trace] arms the network engine's {!Sim.Trace} with the given spec
+    before the deployment is built; [metrics] enables the engine's
+    {!Sim.Metrics} registry (component probes register either way, but
+    the runner's own push instruments — [runner.samples],
+    [runner.goodput] — exist only when enabled). Both are pure
+    observers: omitting them leaves the run byte-identical. Export what
+    they captured from [result.network.engine] after the run. *)
 val run :
   scheme:scheme ->
   network:Network.t ->
   ?seed:int ->
   ?rng:Sim.Rng.t ->
   ?fault:Sim.Faultplan.t ->
+  ?trace:Sim.Trace.spec ->
+  ?metrics:bool ->
   ?sample_period:float ->
   ?floors:(int * float) list ->
   ?bursty:(int * float * float) list ->

@@ -145,7 +145,12 @@ let test_l3_flags_stdout_in_lib () =
     lint_one "lib/foo.ml"
       "let dump s = output_string stdout s\nlet warn s = output_string stderr s\n"
   in
-  check_rules "raw channels in a library" [ Lint.L3_logging; Lint.L3_logging ] vs
+  (* [output_string] itself now also trips L8 — the two rules guard
+     different things (terminal hygiene vs filesystem ownership) and
+     both apply to a raw channel write. *)
+  check_rules "raw channels in a library"
+    [ Lint.L3_logging; Lint.L8_telemetry; Lint.L3_logging; Lint.L8_telemetry ]
+    vs
 
 let test_l3_allows_stdout_in_bin () =
   let vs = lint_one "bin/main.ml" "let dump s = output_string stdout s\n" in
@@ -244,6 +249,56 @@ let test_l7_waiver () =
        let early rng p = Sim.Rng.bernoulli rng p\n"
   in
   check_rules "waived algorithmic coin" [] vs
+
+(* ------------------------------------------------------------------ *)
+(* L8: telemetry leaves lib/ as returned payloads *)
+
+let test_l8_flags_channel_writes_in_lib () =
+  let vs =
+    lint_one "lib/workload/dump.ml"
+      "let dump path s =\n\
+      \  let oc = open_out path in\n\
+      \  output_string oc s;\n\
+      \  close_out oc\n"
+  in
+  check_rules "open_out + output_string in lib/"
+    [ Lint.L8_telemetry; Lint.L8_telemetry ]
+    vs;
+  let vs =
+    lint_one "lib/sim/exp.ml" "let f oc = Printf.fprintf oc \"%d\" 1\n"
+  in
+  check_rules "Printf.fprintf in lib/" [ Lint.L8_telemetry ] vs;
+  let vs =
+    lint_one "lib/net/exp.ml"
+      "let f path s = Out_channel.with_open_text path (fun oc -> ignore (oc, s))\n"
+  in
+  check_rules "Out_channel in lib/" [ Lint.L8_telemetry ] vs
+
+let test_l8_allows_formatters_and_executables () =
+  (* pp functions print to a caller-supplied formatter — that is the
+     sanctioned channel out of a library. *)
+  let vs =
+    lint_one "lib/workload/pp.ml"
+      "let pp ppf x = Format.fprintf ppf \"%d\" x\n"
+  in
+  check_rules "Format.fprintf to a formatter" [] vs;
+  let vs =
+    lint_one "bin/run.ml"
+      "let dump path s =\n\
+      \  let oc = open_out path in\n\
+      \  output_string oc s;\n\
+      \  close_out oc\n"
+  in
+  check_rules "executables own the filesystem" [] vs
+
+let test_l8_waiver () =
+  let vs =
+    lint_one "lib/workload/legacy.ml"
+      "let w path s =\n\
+      \  let oc = open_out path (* lint: trace-ok -- sanctioned writer *) in\n\
+      \  output_string oc s (* lint: trace-ok *)\n"
+  in
+  check_rules "waived writer" [] vs
 
 (* ------------------------------------------------------------------ *)
 (* Parse errors and the directory walker *)
@@ -389,6 +444,14 @@ let () =
           Alcotest.test_case "allows Net.Fault + out-of-scope" `Quick
             test_l7_allows_fault_module_and_elsewhere;
           Alcotest.test_case "waiver" `Quick test_l7_waiver;
+        ] );
+      ( "L8",
+        [
+          Alcotest.test_case "flags channel writes in lib" `Quick
+            test_l8_flags_channel_writes_in_lib;
+          Alcotest.test_case "allows formatters + executables" `Quick
+            test_l8_allows_formatters_and_executables;
+          Alcotest.test_case "waiver" `Quick test_l8_waiver;
         ] );
       ( "driver",
         [

@@ -862,6 +862,201 @@ let prop_value_at_matches_scan =
       in
       Sim.Timeseries.value_at ts query = expected)
 
+let prop_ewma_converges_to_constant =
+  QCheck.Test.make ~name:"ewma converges to a constant input" ~count:200
+    QCheck.(
+      triple (float_range 0.01 1.) (float_range (-100.) 100.)
+        (float_range (-100.) 100.))
+    (fun (gain, x0, c) ->
+      let e = Sim.Stats.Ewma.create ~gain in
+      Sim.Stats.Ewma.update e x0;
+      for _ = 1 to 500 do
+        Sim.Stats.Ewma.update e c
+      done;
+      (* Error after n steps is (1-gain)^n |x0 - c|; for gain >= 0.01
+         and n = 500 that factor is under 0.7%. *)
+      Float.abs (Sim.Stats.Ewma.value e -. c)
+      <= (0.01 *. Float.abs (x0 -. c)) +. 1e-9)
+
+let prop_timeseries_monotone_and_bounded =
+  QCheck.Test.make
+    ~name:"timeseries keeps timestamps monotone; window_mean stays in range"
+    ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 40)
+           (pair (float_bound_inclusive 100.) (float_range (-50.) 50.)))
+        (pair (float_bound_inclusive 100.) (float_bound_inclusive 100.)))
+    (fun (raw, (a, b)) ->
+      (* Feed samples in time order (duplicate times collapse to one
+         insertion point in the generator's sort). *)
+      let points =
+        List.sort_uniq (fun (t1, _) (t2, _) -> compare t1 t2) raw
+      in
+      let ts = Sim.Timeseries.create ~name:"p" () in
+      List.iter (fun (t, v) -> Sim.Timeseries.add ts t v) points;
+      let arr = Sim.Timeseries.to_array ts in
+      let monotone = ref true in
+      Array.iteri
+        (fun i (t, _) -> if i > 0 && t <= fst arr.(i - 1) then monotone := false)
+        arr;
+      let from = Float.min a b and until = Float.max a b in
+      let in_window =
+        List.filter_map
+          (fun (t, v) -> if t >= from && t <= until then Some v else None)
+          points
+      in
+      let bounded =
+        match (Sim.Timeseries.window_mean ts ~from ~until, in_window) with
+        | None, [] -> true
+        | None, _ :: _ -> false
+        | Some _, [] -> false
+        | Some m, vs ->
+          let lo = List.fold_left Float.min infinity vs
+          and hi = List.fold_left Float.max neg_infinity vs in
+          m >= lo -. 1e-9 && m <= hi +. 1e-9
+      in
+      !monotone && bounded)
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_disabled_is_inert () =
+  let tr = Sim.Trace.create () in
+  Alcotest.(check bool) "disabled" false (Sim.Trace.enabled tr);
+  Alcotest.(check bool) "want no" false (Sim.Trace.want tr Sim.Trace.Enqueue);
+  Sim.Trace.record tr ~time:1. Sim.Trace.Enqueue ~a:0 ~b:0 ~x:0. ~y:0.;
+  Alcotest.(check int) "nothing recorded" 0 (Sim.Trace.recorded tr);
+  Alcotest.(check int) "nothing retained" 0 (Sim.Trace.length tr)
+
+let test_trace_kind_filter () =
+  let tr = Sim.Trace.create () in
+  Sim.Trace.enable ~capacity:8 ~kinds:[ Sim.Trace.Drop; Sim.Trace.Epoch ] tr;
+  Alcotest.(check bool) "wants drop" true (Sim.Trace.want tr Sim.Trace.Drop);
+  Alcotest.(check bool) "ignores enqueue" false
+    (Sim.Trace.want tr Sim.Trace.Enqueue);
+  Sim.Trace.record tr ~time:1. Sim.Trace.Enqueue ~a:1 ~b:2 ~x:3. ~y:4.;
+  Sim.Trace.record tr ~time:2. Sim.Trace.Drop ~a:1 ~b:2 ~x:1. ~y:0.;
+  Alcotest.(check int) "filtered kind not recorded" 0
+    (Sim.Trace.count tr Sim.Trace.Enqueue);
+  Alcotest.(check int) "selected kind recorded" 1
+    (Sim.Trace.count tr Sim.Trace.Drop);
+  Alcotest.(check int) "one event retained" 1 (Sim.Trace.length tr)
+
+let test_trace_ring_wrap () =
+  let tr = Sim.Trace.create () in
+  Sim.Trace.enable ~capacity:4 ~kinds:[ Sim.Trace.Epoch ] tr;
+  for i = 1 to 10 do
+    Sim.Trace.record tr ~time:(float_of_int i) Sim.Trace.Epoch ~a:i ~b:0
+      ~x:0. ~y:0.
+  done;
+  Alcotest.(check int) "recorded counts survive wrap" 10 (Sim.Trace.recorded tr);
+  Alcotest.(check int) "per-kind count survives wrap" 10
+    (Sim.Trace.count tr Sim.Trace.Epoch);
+  Alcotest.(check int) "ring holds capacity" 4 (Sim.Trace.length tr);
+  Alcotest.(check int) "dropped = recorded - retained" 6
+    (Sim.Trace.dropped_events tr);
+  (* Oldest retained first: events 7, 8, 9, 10. *)
+  List.iteri
+    (fun i expect ->
+      Alcotest.(check int)
+        (Printf.sprintf "retained slot %d" i)
+        expect (Sim.Trace.get tr i).Sim.Trace.a)
+    [ 7; 8; 9; 10 ]
+
+let test_trace_reset_and_exports () =
+  let tr = Sim.Trace.create () in
+  Sim.Trace.enable ~capacity:8 tr;
+  Sim.Trace.record tr ~time:0.5 Sim.Trace.Drop ~a:3 ~b:7 ~x:1. ~y:0.;
+  Sim.Trace.record tr ~time:1.5 Sim.Trace.Epoch ~a:2 ~b:0 ~x:9.25 ~y:4.;
+  Alcotest.(check string) "jsonl"
+    "{\"t\":0.5,\"kind\":\"drop\",\"a\":3,\"b\":7,\"x\":1.0,\"y\":0.0}\n\
+     {\"t\":1.5,\"kind\":\"epoch\",\"a\":2,\"b\":0,\"x\":9.25,\"y\":4.0}\n"
+    (Sim.Trace.to_jsonl tr);
+  Alcotest.(check string) "csv"
+    "time,kind,a,b,x,y\n0.5,drop,3,7,1.0,0.0\n1.5,epoch,2,0,9.25,4.0\n"
+    (Sim.Trace.to_csv tr);
+  Sim.Trace.reset tr;
+  Alcotest.(check bool) "reset disables" false (Sim.Trace.enabled tr);
+  Alcotest.(check int) "reset clears counts" 0 (Sim.Trace.count tr Sim.Trace.Drop);
+  Alcotest.(check int) "reset clears events" 0 (Sim.Trace.length tr)
+
+let test_trace_spec_validates () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Trace.spec: capacity must be positive") (fun () ->
+      ignore (Sim.Trace.spec ~capacity:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_get_or_create () =
+  let m = Sim.Metrics.create () in
+  let c1 = Sim.Metrics.counter m "jobs" in
+  let c2 = Sim.Metrics.counter m "jobs" in
+  Sim.Metrics.incr c1;
+  Sim.Metrics.add c2 2;
+  Alcotest.(check int) "same instrument" 3 (Sim.Metrics.counter_value c1);
+  Alcotest.check_raises "cross-kind collision"
+    (Invalid_argument "Metrics.gauge: jobs already registered as a counter")
+    (fun () -> ignore (Sim.Metrics.gauge m "jobs"))
+
+let test_metrics_gauge_and_probe () =
+  let m = Sim.Metrics.create () in
+  let g = Sim.Metrics.gauge m "depth" in
+  Sim.Metrics.set g 4.5;
+  check_float "gauge holds last value" 4.5 (Sim.Metrics.gauge_value g);
+  let cell = ref 1. in
+  Sim.Metrics.probe m "pull" (fun () -> !cell);
+  cell := 7.;
+  (* Probes are sampled at export time, not at registration. *)
+  let row =
+    List.find (fun r -> r.Sim.Metrics.name = "pull") (Sim.Metrics.rows m)
+  in
+  check_float "probe sampled lazily" 7. row.Sim.Metrics.value;
+  (* Re-registration replaces the closure (component rebuilt on a
+     reused engine). *)
+  Sim.Metrics.probe m "pull" (fun () -> 42.);
+  let row =
+    List.find (fun r -> r.Sim.Metrics.name = "pull") (Sim.Metrics.rows m)
+  in
+  check_float "replaced" 42. row.Sim.Metrics.value
+
+let test_metrics_rows_sorted_and_reset () =
+  let m = Sim.Metrics.create () in
+  ignore (Sim.Metrics.counter m "zeta");
+  ignore (Sim.Metrics.counter m "alpha");
+  ignore (Sim.Metrics.gauge m "mid");
+  let names = List.map (fun r -> r.Sim.Metrics.name) (Sim.Metrics.rows m) in
+  Alcotest.(check (list string)) "sorted" [ "alpha"; "mid"; "zeta" ] names;
+  Sim.Metrics.set_enabled m true;
+  Sim.Metrics.reset m;
+  Alcotest.(check bool) "reset disables" false (Sim.Metrics.enabled m);
+  Alcotest.(check int) "reset drops instruments" 0
+    (List.length (Sim.Metrics.rows m))
+
+let test_metrics_histogram_validates () =
+  let m = Sim.Metrics.create () in
+  Alcotest.check_raises "non-increasing buckets"
+    (Invalid_argument "Metrics.histogram: buckets must be strictly increasing")
+    (fun () -> ignore (Sim.Metrics.histogram ~buckets:[| 2.; 2. |] m "bad"))
+
+let prop_histogram_sum_equals_count =
+  QCheck.Test.make
+    ~name:"histogram bucket counts sum to the observation count" ~count:200
+    QCheck.(list (float_bound_inclusive 1500.))
+    (fun xs ->
+      let m = Sim.Metrics.create () in
+      let h = Sim.Metrics.histogram m "h" in
+      List.iter (Sim.Metrics.observe h) xs;
+      let n = List.length xs in
+      let bucket_total =
+        List.fold_left (fun acc (_, c) -> acc + c) 0 (Sim.Metrics.bucket_counts h)
+      in
+      let total = List.fold_left ( +. ) 0. xs in
+      Sim.Metrics.histogram_count h = n
+      && bucket_total = n
+      && Float.abs (Sim.Metrics.histogram_sum h -. total) <= 1e-6 *. (1. +. Float.abs total))
+
 (* ------------------------------------------------------------------ *)
 (* Invariant auditing *)
 
@@ -973,6 +1168,7 @@ let () =
           Alcotest.test_case "ewma converges" `Quick test_ewma_converges;
           Alcotest.test_case "ewma formula" `Quick test_ewma_formula;
           Alcotest.test_case "ewma bad gain" `Quick test_ewma_rejects_bad_gain;
+          qt prop_ewma_converges_to_constant;
           Alcotest.test_case "welford" `Quick test_welford;
           Alcotest.test_case "welford degenerate" `Quick test_welford_degenerate;
           qt prop_welford_mean_matches_naive;
@@ -994,6 +1190,25 @@ let () =
           Alcotest.test_case "smooth zero window" `Quick
             test_timeseries_smooth_zero_window;
           qt prop_value_at_matches_scan;
+          qt prop_timeseries_monotone_and_bounded;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled is inert" `Quick test_trace_disabled_is_inert;
+          Alcotest.test_case "kind filter" `Quick test_trace_kind_filter;
+          Alcotest.test_case "ring wrap" `Quick test_trace_ring_wrap;
+          Alcotest.test_case "reset and exports" `Quick test_trace_reset_and_exports;
+          Alcotest.test_case "spec validates" `Quick test_trace_spec_validates;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "get or create" `Quick test_metrics_get_or_create;
+          Alcotest.test_case "gauge and probe" `Quick test_metrics_gauge_and_probe;
+          Alcotest.test_case "rows sorted; reset" `Quick
+            test_metrics_rows_sorted_and_reset;
+          Alcotest.test_case "histogram validates" `Quick
+            test_metrics_histogram_validates;
+          qt prop_histogram_sum_equals_count;
         ] );
       ( "invariant",
         [

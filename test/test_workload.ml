@@ -569,6 +569,66 @@ let test_csv_roundtrip_shape () =
     [ "rates"; "goodput"; "cumulative" ];
   Sys.rmdir dir
 
+(* RFC 4180 quoting: metrics help strings carry commas, and scenario
+   labels could carry anything — a naive join silently shears the
+   columns. These pin the quoting rules and the parse round-trip. *)
+let test_csv_field_quoting () =
+  Alcotest.(check string) "plain passes through" "abc" (Workload.Csv.field "abc");
+  Alcotest.(check string) "comma quoted" "\"a,b\"" (Workload.Csv.field "a,b");
+  Alcotest.(check string) "quote doubled" "\"say \"\"hi\"\"\""
+    (Workload.Csv.field "say \"hi\"");
+  Alcotest.(check string) "newline quoted" "\"two\nlines\""
+    (Workload.Csv.field "two\nlines");
+  Alcotest.(check string) "row joins quoted fields" "x,\"a,b\",z"
+    (Workload.Csv.row [ "x"; "a,b"; "z" ])
+
+let test_csv_parse_roundtrip () =
+  let rows =
+    [
+      [ "name"; "kind"; "value"; "help" ];
+      [ "with,comma"; "quote\"inside"; "multi\nline"; "" ];
+      [ "plain"; "1.5"; "trailing"; "last" ];
+    ]
+  in
+  let text =
+    String.concat "" (List.map (fun r -> Workload.Csv.row r ^ "\n") rows)
+  in
+  Alcotest.(check (list (list string))) "parse inverts row" rows
+    (Workload.Csv.parse text);
+  (* CRLF line ends and a missing trailing newline both parse. *)
+  Alcotest.(check (list (list string))) "crlf" [ [ "a"; "b" ]; [ "c"; "d" ] ]
+    (Workload.Csv.parse "a,b\r\nc,d");
+  Alcotest.check_raises "unterminated quote"
+    (Invalid_argument "Csv.parse: unterminated quoted field") (fun () ->
+      ignore (Workload.Csv.parse "a,\"oops"))
+
+let prop_csv_row_roundtrips =
+  QCheck.Test.make ~name:"row/parse round-trips arbitrary fields" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 8) (string_gen_of_size Gen.(0 -- 12) Gen.printable))
+    (fun fields ->
+      (* A sole empty field renders as an empty line, which CSV cannot
+         distinguish from no row at all. *)
+      QCheck.assume (fields <> [ "" ]);
+      Workload.Csv.parse (Workload.Csv.row fields ^ "\n") = [ fields ])
+
+let test_csv_of_metrics_roundtrip () =
+  let m = Sim.Metrics.create () in
+  let c = Sim.Metrics.counter ~help:"arrivals, including dropped ones" m "arrivals" in
+  Sim.Metrics.add c 41;
+  Sim.Metrics.probe ~help:"queue depth \"now\"" m "queue" (fun () -> 3.5);
+  let csv = Workload.Csv.of_metrics m in
+  match Workload.Csv.parse csv with
+  | [ header; r1; r2 ] ->
+    Alcotest.(check (list string)) "header" [ "name"; "kind"; "value"; "help" ] header;
+    Alcotest.(check (list string)) "comma-bearing help survives"
+      [ "arrivals"; "counter"; "41.0"; "arrivals, including dropped ones" ]
+      r1;
+    Alcotest.(check (list string)) "quote-bearing help survives"
+      [ "queue"; "probe"; "3.5"; "queue depth \"now\"" ]
+      r2
+  | rows ->
+    Alcotest.failf "expected header + 2 rows, got %d" (List.length rows)
+
 (* Audit every runtime invariant (Sim.Invariant) in all suites. *)
 let () = Sim.Invariant.set_default true
 
@@ -630,5 +690,13 @@ let () =
           Alcotest.test_case "single run" `Quick test_replicate_single_run;
           Alcotest.test_case "figure stable" `Slow test_replicate_figure_stable;
         ] );
-      ("csv", [ Alcotest.test_case "roundtrip shape" `Quick test_csv_roundtrip_shape ]);
+      ( "csv",
+        [
+          Alcotest.test_case "roundtrip shape" `Quick test_csv_roundtrip_shape;
+          Alcotest.test_case "field quoting" `Quick test_csv_field_quoting;
+          Alcotest.test_case "parse roundtrip" `Quick test_csv_parse_roundtrip;
+          QCheck_alcotest.to_alcotest prop_csv_row_roundtrips;
+          Alcotest.test_case "of_metrics roundtrip" `Quick
+            test_csv_of_metrics_roundtrip;
+        ] );
     ]

@@ -1,0 +1,14 @@
+(* Golden-trace digest: run the fig3 workload with every event kind
+   traced and print the compact digest (per-kind counts + an MD5 of the
+   JSONL export of the retained tail). dune runtest diffs the output
+   against test/golden/fig3_trace.digest, so any silent behavioral
+   drift — a lost epoch, a different feedback count, a reordered event
+   — fails the build without committing megabytes of raw trace. *)
+let () =
+  let spec = Workload.Figures.fig3 () in
+  let trace = Sim.Trace.spec ~capacity:(1 lsl 16) ~kinds:Sim.Trace.all_kinds () in
+  let result = Workload.Figures.run ~trace spec in
+  let tr =
+    Sim.Engine.trace result.Workload.Runner.network.Workload.Network.engine
+  in
+  print_string (Sim.Trace.digest tr)

@@ -13,6 +13,7 @@ type rule =
   | L5_unsafe
   | L6_hot_queue
   | L7_fault_inject
+  | L8_telemetry
   | Parse_error
 
 let rule_name = function
@@ -23,6 +24,7 @@ let rule_name = function
   | L5_unsafe -> "L5/unsafe"
   | L6_hot_queue -> "L6/hot-queue"
   | L7_fault_inject -> "L7/fault-inject"
+  | L8_telemetry -> "L8/telemetry"
   | Parse_error -> "parse-error"
 
 let waiver_token = function
@@ -33,6 +35,7 @@ let waiver_token = function
   | L5_unsafe -> Some "unsafe-ok"
   | L6_hot_queue -> Some "queue-ok"
   | L7_fault_inject -> Some "fault-ok"
+  | L8_telemetry -> Some "trace-ok"
   | Parse_error -> None
 
 type violation = {
@@ -132,6 +135,36 @@ let l3_banned_ident path =
   | [ "Stdlib"; "Format"; (("printf" | "eprintf" | "print_string" | "print_newline") as f) ]
     ->
     Some ("Format." ^ f ^ " is banned in lib/; log through Logs")
+  | _ -> None
+
+(* Direct channel writes in lib/: telemetry and series data must leave
+   libraries as returned payloads (Sim.Trace/Sim.Metrics exports, CSV
+   strings) so the coordinating executable alone touches the
+   filesystem and pooled runs stay byte-identical to serial ones.
+   [Format.fprintf] stays legal — printing to a caller-supplied
+   formatter is how pp functions work. *)
+let l8_banned_ident path =
+  let file_write = function
+    | "open_out" | "open_out_bin" | "open_out_gen" | "output_string"
+    | "output_char" | "output_bytes" | "output_byte" | "output_substring"
+    | "output_value" ->
+      true
+    | _ -> false
+  in
+  match path with
+  | [ f ] | [ "Stdlib"; f ] when file_write f ->
+    Some
+      (f
+     ^ " is banned in lib/; return the payload (Trace/Metrics/Csv export \
+        strings) and let the executable write it, or waive with trace-ok")
+  | "Out_channel" :: _ | "Stdlib" :: "Out_channel" :: _ ->
+    Some
+      "Out_channel is banned in lib/; return the payload and let the \
+       executable write it, or waive with trace-ok"
+  | [ "Printf"; "fprintf" ] | [ "Stdlib"; "Printf"; "fprintf" ] ->
+    Some
+      "Printf.fprintf writes to a raw channel; return the payload or use a \
+       Format.formatter pp, or waive with trace-ok"
   | _ -> None
 
 let l5_banned_ident = function
@@ -249,6 +282,9 @@ let check_ident ctx (loc : Location.t) path =
   (if ctx.lib_scope then begin
      (match l3_banned_ident path with
      | Some msg -> add ctx L3_logging loc msg
+     | None -> ());
+     (match l8_banned_ident path with
+     | Some msg -> add ctx L8_telemetry loc msg
      | None -> ());
      match l5_banned_ident path with
      | Some msg -> add ctx L5_unsafe loc msg

@@ -44,6 +44,15 @@
       The few legitimate algorithmic coins (RED's early drop, the
       selectors' probabilistic rounding) carry [lint: fault-ok]
       waivers naming what they are.
+    - {b L8 telemetry}: direct channel writes ([open_out],
+      [output_string], [Out_channel], [Printf.fprintf], ...) are
+      banned inside [lib/]. Observability data leaves libraries as
+      returned payloads — [Sim.Trace]/[Sim.Metrics] exports and CSV
+      strings — and only the coordinating executable touches the
+      filesystem, which is what keeps pooled runs byte-identical to
+      serial ones. [Format.fprintf] to a caller-supplied formatter
+      stays legal (that is how [pp] functions work). The historical
+      [Workload.Csv.write_*] helpers carry [lint: trace-ok] waivers.
 
     A violation on line [n] is waived when line [n] or [n - 1] carries
     a comment containing [lint: <token>] with the rule's waiver token
@@ -58,6 +67,7 @@ type rule =
   | L5_unsafe
   | L6_hot_queue
   | L7_fault_inject
+  | L8_telemetry
   | Parse_error  (** a file that does not parse; never waivable *)
 
 (** Short machine-readable identifier, e.g. ["L1/determinism"]. *)
