@@ -15,10 +15,10 @@ test:
 	dune runtest
 
 lint:
-	dune build @lint
+	dune build @lint @typelint
 
 bench:
-	dune exec bench/hotpath_bench.exe -- --quick --budget 45
+	dune exec bench/hotpath_bench.exe -- --quick --budget 36
 
 # Line-coverage report (text summary + HTML under _coverage/). The
 # reporter discovers the *.coverage files dune leaves under _build.

@@ -9,8 +9,8 @@ let create ~capacity ~rng =
   if capacity <= 0 then invalid_arg "Cache_selector.create: capacity must be positive";
   { rng; slots = Array.make capacity None; next = 0; filled = 0 }
 
-let observe t marker =
-  t.slots.(t.next) <- Some marker;
+let[@corelite.hot] observe t marker =
+  t.slots.(t.next) <- Some marker; (* lint: alloc-ok -- cache slots are options by design *)
   t.next <- (t.next + 1) mod Array.length t.slots;
   if t.filled < Array.length t.slots then t.filled <- t.filled + 1
 

@@ -35,7 +35,7 @@ let congested_epochs t = t.congested_epochs
 
 let markers_seen t = t.markers_seen
 
-let emit t marker =
+let[@corelite.hot] emit t marker =
   t.feedback_sent <- t.feedback_sent + 1;
   if Sim.Trace.want t.trace Sim.Trace.Feedback_emit then
     Sim.Trace.record t.trace
@@ -44,7 +44,7 @@ let emit t marker =
       ~b:marker.Net.Packet.flow_id ~x:marker.Net.Packet.normalized_rate ~y:0.;
   t.send_feedback marker
 
-let on_marker t marker =
+let[@corelite.hot] on_marker t marker =
   t.markers_seen <- t.markers_seen + 1;
   if Sim.Trace.want t.trace Sim.Trace.Marker_seen then
     Sim.Trace.record t.trace
@@ -58,7 +58,7 @@ let on_marker t marker =
     if t.check then
       (* Per-marker feedback budget: at most ceil(pw) copies, whether
          they come from this marker's own draw or the swap deficit. *)
-      Sim.Invariant.requiref
+      Sim.Invariant.requiref (* lint: alloc-ok -- diagnostic closure, gated by t.check *)
         ~what:(fun () ->
           Printf.sprintf
             "Core %s: stateless selector returned %d copies for one marker \

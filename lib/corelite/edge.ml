@@ -52,16 +52,20 @@ let collect_max t () =
   Hashtbl.reset t.feedback_by_link;
   m
 
-let emit t ~now ~rate =
-  let next_packet () =
+let[@corelite.hot] emit t ~now ~rate =
+  (* The supply match is inlined into the binding (a [let next_packet ()
+     = ...] helper would close over [t] and [now], one closure per
+     packet). Packet and marker construction below are the two
+     allocations this path keeps until the packet-pool PR (ROADMAP). *)
+  let pkt =
     match t.supply with
     | None ->
       t.next_packet_id <- t.next_packet_id + 1;
-      Some
+      Some (* lint: alloc-ok -- fresh packet per emission until the packet pool *)
         (Net.Packet.make ~id:t.next_packet_id ~flow:t.flow.Net.Flow.id ~created:now ())
     | Some take -> take ()
   in
-  match next_packet () with
+  match pkt with
   | None -> () (* application-limited aggregate: nothing to shape *)
   | Some pkt ->
     let weight = t.flow.Net.Flow.weight in
@@ -74,7 +78,7 @@ let emit t ~now ~rate =
          reserved capacity and must not attract selective feedback. *)
       let edge_id = (Net.Flow.ingress t.flow).Net.Node.id in
       let normalized_rate = Float.max 0. (rate -. t.floor) /. weight in
-      pkt.Net.Packet.marker <-
+      pkt.Net.Packet.marker <- (* lint: alloc-ok -- one marker per marker_spacing packets *)
         Some { Net.Packet.edge_id; flow_id = t.flow.Net.Flow.id; normalized_rate };
       if Sim.Trace.want t.trace Sim.Trace.Marker_attach then
         Sim.Trace.record t.trace ~time:now Sim.Trace.Marker_attach

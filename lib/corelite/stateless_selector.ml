@@ -26,7 +26,7 @@ let pw t = t.pw
 
 let deficit t = t.deficit
 
-let observe t marker =
+let[@corelite.hot] observe t marker =
   t.epoch_markers <- t.epoch_markers + 1;
   Sim.Stats.Ewma.update t.rav marker.Net.Packet.normalized_rate;
   if t.pw <= 0. then 0

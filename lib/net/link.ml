@@ -54,18 +54,18 @@ type t = {
 
 let capacity_pps t = t.bandwidth /. float_of_int (8 * Packet.default_size)
 
-let queue_length t = t.qdisc.Qdisc.length ()
+let[@corelite.hot] queue_length t = t.qdisc.Qdisc.length ()
 
 let is_up t = t.up
 
-let notify_queue_change t =
+let[@corelite.hot] notify_queue_change t =
   match t.hooks with
   | Some h -> h.on_queue_change (queue_length t)
   | None -> ()
 
 let reason_code = function Filtered -> 0 | Queue_full -> 1 | Injected -> 2 | Down -> 3
 
-let drop t reason pkt =
+let[@corelite.hot] drop t reason pkt =
   t.drops <- t.drops + 1;
   if Sim.Trace.want t.trace Sim.Trace.Drop then
     Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) Sim.Trace.Drop
@@ -88,7 +88,7 @@ let check_conservation t =
         t.name t.arrivals t.departures t.drops queued in_service)
     (t.arrivals = t.departures + t.drops + queued + in_service)
 
-let rec start_transmission t =
+let[@corelite.hot] rec start_transmission t =
   match t.qdisc.Qdisc.dequeue () with
   | None -> t.busy <- false
   | Some pkt ->
@@ -98,7 +98,7 @@ let rec start_transmission t =
     let tx_time = float_of_int (8 * pkt.Packet.size) /. t.bandwidth in
     Sim.Engine.schedule_unit t.engine ~delay:tx_time t.tx_done_ev
 
-and tx_done t =
+and[@corelite.hot] tx_done t =
   let pkt = t.in_service in
   t.departures <- t.departures + 1;
   t.bytes_sent <- t.bytes_sent + pkt.Packet.size;
@@ -111,7 +111,7 @@ and tx_done t =
   start_transmission t;
   if t.check then check_conservation t
 
-let deliver_head t = t.deliver (Sim.Ring.pop_exn t.wire)
+let[@corelite.hot] deliver_head t = t.deliver (Sim.Ring.pop_exn t.wire)
 
 (* (Re-)install the generation-guarded event closures. Events pushed
    under an older generation find the guard false and die silently. *)
@@ -239,7 +239,7 @@ let create ?check_invariants ~engine ~id ~name ~src ~dst ~bandwidth ~delay ~qdis
     (fun () -> float_of_int (queue_length t));
   t
 
-let send t pkt =
+let[@corelite.hot] send t pkt =
   t.arrivals <- t.arrivals + 1;
   (if not t.up then drop t Down pkt
    else
@@ -263,8 +263,9 @@ let send t pkt =
            false)
      in
      if admitted then
-       (match t.hooks with Some h -> h.on_arrival pkt | None -> Pass)
-       |> function
+       (* A plain match: the [|> function] spelling builds a function
+          value per packet just to apply it once. *)
+       match (match t.hooks with Some h -> h.on_arrival pkt | None -> Pass) with
        | Drop -> drop t Filtered pkt
        | Pass -> (
          match t.qdisc.Qdisc.enqueue pkt with

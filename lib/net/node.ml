@@ -17,7 +17,7 @@ let set_sink t ~flow consume = Hashtbl.replace t.sinks flow consume
 
 (* Exception-style lookups: [Hashtbl.find_opt] would allocate a [Some]
    per hop on the forwarding path. *)
-let receive t pkt =
+let[@corelite.hot] receive t pkt =
   let flow = pkt.Packet.flow in
   match Hashtbl.find t.routes flow with
   | link -> Link.send link pkt

@@ -17,23 +17,29 @@ module Fifo = struct
 
   let create () = { q = Sim.Ring.create (); bytes = 0 }
 
-  let push t pkt =
+  let[@corelite.hot] push t pkt =
     Sim.Ring.push t.q pkt;
     t.bytes <- t.bytes + pkt.Packet.size
 
-  let pop t =
+  (* The option result is the one allocation this API keeps: callers
+     need the atomic empty-test-and-pop. The timer-wheel/packet-pool
+     PR (ROADMAP) replaces it with an exception-style or sentinel
+     dequeue; until then the Some per dequeue is a known, waived cost
+     inside the 36-words budget. *)
+  let[@corelite.hot] pop t =
     if Sim.Ring.is_empty t.q then None
     else begin
       let pkt = Sim.Ring.pop_exn t.q in
       t.bytes <- t.bytes - pkt.Packet.size;
-      Some pkt
+      Some pkt (* lint: alloc-ok -- option dequeue API, see above *)
     end
 
-  let peek t =
-    if Sim.Ring.is_empty t.q then None else Some (Sim.Ring.peek_exn t.q)
+  let[@corelite.hot] peek t =
+    if Sim.Ring.is_empty t.q then None
+    else Some (Sim.Ring.peek_exn t.q) (* lint: alloc-ok -- option API *)
 
-  let length t = Sim.Ring.length t.q
-  let bytes t = t.bytes
+  let[@corelite.hot] length t = Sim.Ring.length t.q
+  let[@corelite.hot] bytes t = t.bytes
 end
 
 let droptail ~capacity =
@@ -76,42 +82,49 @@ let default_red_params =
 (* Shared RED average-queue machinery; [fred] reuses it with its own
    per-flow admission rule. *)
 module Red_state = struct
+  (* The EWMA average lives in its own all-float record: OCaml stores
+     such records flat, so the per-enqueue [update_avg] write is an
+     unboxed store. As a [mutable avg : float] field of the mixed
+     record below, every write would box a fresh float (typelint T1
+     flags exactly that pattern). *)
+  type avg_cell = { mutable v : float }
+
   type nonrec t = {
     p : red_params;
-    mutable avg : float;
+    avg : avg_cell;
     mutable count : int;  (* packets since last marked/dropped *)
     mutable idle_since : float option;
   }
 
-  let create p = { p; avg = 0.; count = -1; idle_since = None }
+  let create p = { p; avg = { v = 0. }; count = -1; idle_since = None }
 
-  let update_avg t ~now ~qlen =
+  let[@corelite.hot] update_avg t ~now ~qlen =
     (match t.idle_since with
     | Some t0 when qlen = 0 ->
       (* Decay the average as if [m] small packets had been transmitted
          during the idle period. *)
       let m = (now -. t0) /. t.p.mean_pkt_time in
-      t.avg <- t.avg *. ((1. -. t.p.queue_weight) ** m);
+      t.avg.v <- t.avg.v *. ((1. -. t.p.queue_weight) ** m);
       t.idle_since <- None
     | Some _ -> t.idle_since <- None
     | None -> ());
-    t.avg <- t.avg +. (t.p.queue_weight *. (float_of_int qlen -. t.avg))
+    t.avg.v <- t.avg.v +. (t.p.queue_weight *. (float_of_int qlen -. t.avg.v))
 
   let note_idle t ~now = if t.idle_since = None then t.idle_since <- Some now
 
   (* Early-drop verdict for the standard RED profile. *)
-  let early_drop t rng =
-    if t.avg < t.p.min_thresh then begin
+  let[@corelite.hot] early_drop t rng =
+    if t.avg.v < t.p.min_thresh then begin
       t.count <- -1;
       false
     end
-    else if t.avg >= t.p.max_thresh then begin
+    else if t.avg.v >= t.p.max_thresh then begin
       t.count <- 0;
       true
     end
     else begin
       t.count <- t.count + 1;
-      let pb = t.p.max_p *. (t.avg -. t.p.min_thresh) /. (t.p.max_thresh -. t.p.min_thresh) in
+      let pb = t.p.max_p *. (t.avg.v -. t.p.min_thresh) /. (t.p.max_thresh -. t.p.min_thresh) in
       let denom = 1. -. (float_of_int t.count *. pb) in
       let pa = if denom <= 0. then 1. else pb /. denom in
       (* lint: fault-ok -- RED's own early-drop coin, not fault injection *)
@@ -160,11 +173,11 @@ let fred ?(params = default_red_params) ?(minq = 2) ~rng ~now () =
   let enqueue pkt =
     let flow = pkt.Packet.flow in
     Red_state.update_avg state ~now:(now ()) ~qlen:(Fifo.length fifo);
-    let avgcq = if active () = 0 then state.Red_state.avg else state.Red_state.avg /. float_of_int (active ()) in
+    let avgcq = if active () = 0 then state.Red_state.avg.Red_state.v else state.Red_state.avg.Red_state.v /. float_of_int (active ()) in
     let avgcq = Float.max avgcq 1. in
     let fq = float_of_int (flow_qlen flow) in
     let maxq =
-      if state.Red_state.avg >= params.max_thresh then Float.max (float_of_int minq) avgcq
+      if state.Red_state.avg.Red_state.v >= params.max_thresh then Float.max (float_of_int minq) avgcq
       else params.max_thresh
     in
     if Fifo.length fifo >= params.capacity then Dropped

@@ -57,24 +57,24 @@ type t = {
    shaping oracle replays these against the packets actually enqueued
    to check conformance. Rate changes happen at epoch granularity, so
    the guard-and-record costs nothing measurable. *)
-let note_rate t =
+let[@corelite.hot] note_rate t =
   if Sim.Trace.want t.trace Sim.Trace.Rate_update then
     Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine)
       Sim.Trace.Rate_update ~a:t.id ~b:0 ~x:t.rate
       ~y:(match t.phase with Slow_start -> 0. | Linear -> 1.)
 
-let emit_one t =
+let[@corelite.hot] emit_one t =
   if t.active then begin
     t.emitted <- t.emitted + 1;
     t.emit ~now:(Sim.Engine.now t.engine) ~rate:t.rate
   end
 
-let schedule_pace t =
+let[@corelite.hot] schedule_pace t =
   let interval = 1. /. Float.max t.rate 1e-6 in
   t.pacing_pending <- t.pacing_pending + 1;
   Sim.Engine.schedule_unit t.engine ~delay:interval t.pace_ev
 
-let pace t =
+let[@corelite.hot] pace t =
   t.pacing_pending <- t.pacing_pending - 1;
   if t.running && t.pacing_pending = 0 then begin
     emit_one t;

@@ -66,7 +66,7 @@ let pending t = Event_queue.length t.queue
 let check_time label x =
   if not (Float.is_finite x) then invalid_arg (label ^ ": time not finite")
 
-let[@inline] push t ~time action =
+let[@inline] [@corelite.hot] push t ~time action =
   t.seq <- t.seq + 1;
   Event_queue.add t.queue ~key:time ~seq:t.seq action
 
@@ -82,7 +82,7 @@ let schedule t ~delay action =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock.time +. delay) action
 
-let[@inline] schedule_unit t ~delay action =
+let[@inline] [@corelite.hot] schedule_unit t ~delay action =
   check_time "Engine.schedule_unit" delay;
   if delay < 0. then invalid_arg "Engine.schedule_unit: negative delay";
   push t ~time:(t.clock.time +. delay) action
@@ -114,7 +114,7 @@ let cancel handle = handle.cancelled <- true
 
 let is_cancelled handle = handle.cancelled
 
-let step t =
+let[@corelite.hot] step t =
   if Event_queue.is_empty t.queue then false
   else begin
     let time = Event_queue.next_time t.queue in
@@ -129,14 +129,16 @@ let step t =
     true
   end
 
-let run t = while step t do () done
+let[@corelite.hot] run t = while step t do () done
 
-let run_until t limit =
-  (* [next_time] is [infinity] on an empty queue, so the comparison
-     doubles as the emptiness test; the [&& step t] keeps
-     [run_until t infinity] draining instead of spinning. *)
-  let rec loop () =
-    if Event_queue.next_time t.queue <= limit && step t then loop ()
-  in
-  loop ();
+(* [next_time] is [infinity] on an empty queue, so the comparison
+   doubles as the emptiness test; the [&& step t] keeps
+   [run_until t infinity] draining instead of spinning. Top-level so
+   [run_until] allocates nothing — a nested [let rec loop] capturing
+   [t] and [limit] would build a closure per call. *)
+let[@corelite.hot] rec drain_until t limit =
+  if Event_queue.next_time t.queue <= limit && step t then drain_until t limit
+
+let[@corelite.hot] run_until t limit =
+  drain_until t limit;
   if limit > t.clock.time then t.clock.time <- limit

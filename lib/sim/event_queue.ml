@@ -43,10 +43,10 @@ let is_empty q = q.size = 0
    independent of the internal layout. Float [=] on keys is exact on
    purpose: equal simulation times must compare equal for FIFO
    tie-breaking. *)
-let[@inline] slot_lt q i j =
+let[@inline] [@corelite.hot] slot_lt q i j =
   q.keys.(i) < q.keys.(j) || (q.keys.(i) = q.keys.(j) && q.seqs.(i) < q.seqs.(j))
 
-let[@inline] swap q i j =
+let[@inline] [@corelite.hot] swap q i j =
   let k = q.keys.(i) in
   q.keys.(i) <- q.keys.(j);
   q.keys.(j) <- k;
@@ -57,7 +57,7 @@ let[@inline] swap q i j =
   q.vals.(i) <- q.vals.(j);
   q.vals.(j) <- v
 
-let rec sift_up q i =
+let[@corelite.hot] rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
     if slot_lt q i parent then begin
@@ -66,7 +66,7 @@ let rec sift_up q i =
     end
   end
 
-let rec sift_down q i =
+let[@corelite.hot] rec sift_down q i =
   let left = (2 * i) + 1 in
   if left < q.size then begin
     let right = left + 1 in
@@ -94,7 +94,7 @@ let grow q value =
   q.seqs <- seqs';
   q.vals <- vals'
 
-let[@inline] add q ~key ~seq value =
+let[@inline] [@corelite.hot] add q ~key ~seq value =
   if q.size = Array.length q.vals then grow q value;
   let i = q.size in
   q.keys.(i) <- key;
@@ -103,9 +103,9 @@ let[@inline] add q ~key ~seq value =
   q.size <- i + 1;
   sift_up q i
 
-let[@inline] next_time q = if q.size = 0 then infinity else q.keys.(0)
+let[@inline] [@corelite.hot] next_time q = if q.size = 0 then infinity else q.keys.(0)
 
-let pop_exn q =
+let[@corelite.hot] pop_exn q =
   if q.size = 0 then invalid_arg "Event_queue.pop_exn: empty";
   let top = q.vals.(0) in
   let last = q.size - 1 in

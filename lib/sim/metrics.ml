@@ -81,6 +81,7 @@ let set g v = g.g_value <- v
 let gauge_value g = g.g_value
 
 let default_buckets =
+  (* lint: domain-ok — read-only default, always Array.copy'd before use *)
   [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000. |]
 
 let histogram ?(help = "") ?buckets t name =

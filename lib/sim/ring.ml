@@ -8,9 +8,9 @@ let initial_capacity = 16
 
 let create () = { data = [||]; head = 0; len = 0 }
 
-let length t = t.len
+let[@corelite.hot] length t = t.len
 
-let is_empty t = t.len = 0
+let[@corelite.hot] is_empty t = t.len = 0
 
 let clear t =
   (* Drop the storage too: a cleared ring must not pin the payloads of
@@ -35,18 +35,18 @@ let grow t x =
   t.data <- data';
   t.head <- 0
 
-let push t x =
+let[@corelite.hot] push t x =
   if t.len = Array.length t.data then grow t x;
   let i = t.head + t.len in
   let capacity = Array.length t.data in
   t.data.(if i >= capacity then i - capacity else i) <- x;
   t.len <- t.len + 1
 
-let peek_exn t =
+let[@corelite.hot] peek_exn t =
   if t.len = 0 then invalid_arg "Ring.peek_exn: empty";
   t.data.(t.head)
 
-let pop_exn t =
+let[@corelite.hot] pop_exn t =
   if t.len = 0 then invalid_arg "Ring.pop_exn: empty";
   let x = t.data.(t.head) in
   let head' = t.head + 1 in

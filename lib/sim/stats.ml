@@ -9,12 +9,12 @@ module Time_weighted = struct
   let create ~now ~init =
     { window_start = now; last_update = now; current = init; integral = 0. }
 
-  let accumulate t ~now =
+  let[@corelite.hot] accumulate t ~now =
     if now < t.last_update then invalid_arg "Time_weighted.set: time went backwards";
     t.integral <- t.integral +. ((now -. t.last_update) *. t.current);
     t.last_update <- now
 
-  let set t ~now v =
+  let[@corelite.hot] set t ~now v =
     accumulate t ~now;
     t.current <- v
 
@@ -32,44 +32,52 @@ module Time_weighted = struct
 end
 
 module Ewma = struct
-  type t = { gain : float; mutable avg : float; mutable initialized : bool }
+  (* All-float record: OCaml stores it flat, so [update]'s stores are
+     unboxed. [initialized] is encoded as 0. / 1. on purpose — a bool
+     field would demote the record to mixed representation, and then
+     every [avg] write would box a fresh float (typelint T1 flags that
+     pattern; [update] runs per feedback sample). *)
+  type t = { gain : float; mutable avg : float; mutable initialized : float }
 
   let create ~gain =
     if gain <= 0. || gain > 1. then invalid_arg "Ewma.create: gain out of (0, 1]";
-    { gain; avg = 0.; initialized = false }
+    { gain; avg = 0.; initialized = 0. }
 
-  let update t x =
-    if t.initialized then t.avg <- t.avg +. (t.gain *. (x -. t.avg))
+  let[@corelite.hot] update t x =
+    if t.initialized > 0. then t.avg <- t.avg +. (t.gain *. (x -. t.avg))
     else begin
       t.avg <- x;
-      t.initialized <- true
+      t.initialized <- 1.
     end
 
   let value t = t.avg
 
-  let is_initialized t = t.initialized
+  let is_initialized t = t.initialized > 0.
 
   let reset t =
     t.avg <- 0.;
-    t.initialized <- false
+    t.initialized <- 0.
 end
 
 module Welford = struct
-  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+  (* All-float on purpose, [n] included: a [mutable n : int] field
+     would make the record mixed and box every [mean]/[m2] store (see
+     Ewma above). A float count is exact up to 2^53 observations. *)
+  type t = { mutable n : float; mutable mean : float; mutable m2 : float }
 
-  let create () = { n = 0; mean = 0.; m2 = 0. }
+  let create () = { n = 0.; mean = 0.; m2 = 0. }
 
-  let add t x =
-    t.n <- t.n + 1;
+  let[@corelite.hot] add t x =
+    t.n <- t.n +. 1.;
     let delta = x -. t.mean in
-    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.mean <- t.mean +. (delta /. t.n);
     t.m2 <- t.m2 +. (delta *. (x -. t.mean))
 
-  let count t = t.n
+  let count t = int_of_float t.n
 
   let mean t = t.mean
 
-  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+  let variance t = if t.n < 2. then 0. else t.m2 /. (t.n -. 1.)
 
   let stddev t = sqrt (variance t)
 end

@@ -309,6 +309,16 @@ let test_parse_error_reported () =
   Alcotest.(check bool) "parse errors cannot be waived" true
     (Lint.waiver_token Lint.Parse_error = None)
 
+let test_parse_error_location () =
+  (* A lexer error (unterminated comment) raises outside the parser's
+     Syntaxerr path; the report must still carry the compiler's
+     location — the comment opener on line 2 — not a line-1 default. *)
+  let vs = lint_one "lib/broken.ml" "let x = 1\n(* never closed\nlet y = 2\n" in
+  check_rules "lexer error surfaces" [ Lint.Parse_error ] vs;
+  match vs with
+  | [ v ] -> Alcotest.(check int) "compiler location, not line 1" 2 v.Lint.line
+  | _ -> Alcotest.fail "expected exactly one violation"
+
 let test_lint_paths_walks_and_sorts () =
   let root =
     fixture
@@ -456,6 +466,8 @@ let () =
       ( "driver",
         [
           Alcotest.test_case "parse error" `Quick test_parse_error_reported;
+          Alcotest.test_case "parse error location" `Quick
+            test_parse_error_location;
           Alcotest.test_case "walk + sort" `Quick test_lint_paths_walks_and_sorts;
           Alcotest.test_case "report format" `Quick test_report_format;
         ] );

@@ -1,0 +1,409 @@
+(* Tests for the typed static-analysis pass (tools/typelint): one
+   accepting and one rejecting fixture per rule T1-T3, waiver handling,
+   cmt read errors, and a self-check that the shipped lib/ tree is
+   clean. Fixtures are real OCaml compiled to .cmt at test time with
+   ocamlc, because the pass reads Typedtree, not sources. *)
+
+module Typelint = Corelite_typelint.Typelint
+
+(* ------------------------------------------------------------------ *)
+(* Fixture plumbing: each case materializes a tiny source tree under a
+   scratch directory and compiles it *from the fixture root*, so the
+   sourcefile recorded in the .cmt carries the lib/... components the
+   path-scoped rules key on. *)
+
+let fixture_root =
+  Filename.concat (Filename.get_temp_dir_name ()) "corelite-typelint-fixtures"
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then (
+      Array.iter (fun e -> remove_tree (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path)
+    else Sys.remove path
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then (
+    mkdir_p (Filename.dirname path);
+    Sys.mkdir path 0o755)
+
+let fixture_counter = ref 0
+
+let fixture files =
+  incr fixture_counter;
+  let root = Filename.concat fixture_root (string_of_int !fixture_counter) in
+  remove_tree root;
+  List.iter
+    (fun (rel, content) ->
+      let path = Filename.concat root rel in
+      mkdir_p (Filename.dirname path);
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc content))
+    files;
+  root
+
+(* Compile [rel] inside [root]; warnings are off — fixtures isolate one
+   construct each and unused-value noise is irrelevant. *)
+let compile root rel =
+  let cmd =
+    Printf.sprintf "cd %s && %s" (Filename.quote root)
+      (Filename.quote_command "ocamlc" [ "-w"; "-a"; "-c"; "-bin-annot"; rel ])
+  in
+  if Sys.command cmd <> 0 then
+    Alcotest.failf "fixture %s failed to compile" rel;
+  Filename.concat root (Filename.chop_extension rel ^ ".cmt")
+
+let typelint_one rel content =
+  let root = fixture [ (rel, content) ] in
+  Typelint.check_cmt (compile root rel)
+
+let check_rules what expected vs =
+  Alcotest.(check (list string))
+    what
+    (List.map Typelint.rule_name expected)
+    (List.map (fun v -> Typelint.rule_name v.Typelint.rule) vs)
+
+(* ------------------------------------------------------------------ *)
+(* T1: zero-alloc on [@corelite.hot] functions *)
+
+let test_t1_flags_closure () =
+  (* The ISSUE's acceptance demo: adding a closure allocation inside a
+     hot function must fail the pass. *)
+  let vs =
+    typelint_one "lib/net/fix.ml"
+      "let[@corelite.hot] spawn x =\n\
+      \  let f = fun () -> x + 1 in\n\
+      \  f ()\n"
+  in
+  check_rules "closure in hot body" [ Typelint.T1_alloc ] vs;
+  match vs with
+  | [ v ] -> Alcotest.(check int) "on the closure's line" 2 v.Typelint.line
+  | _ -> Alcotest.fail "expected exactly one violation"
+
+let test_t1_flags_constructor_and_tuple () =
+  let vs =
+    typelint_one "lib/net/fix.ml"
+      "let[@corelite.hot] wrap x = Some x\nlet[@corelite.hot] pair x = (x, x)\n"
+  in
+  check_rules "Some and a tuple" [ Typelint.T1_alloc; Typelint.T1_alloc ] vs
+
+let test_t1_flags_banned_calls () =
+  let vs =
+    typelint_one "lib/net/fix.ml"
+      "let[@corelite.hot] label n = string_of_int n\n\
+       let[@corelite.hot] grow xs = List.map succ xs\n"
+  in
+  check_rules "string churn and List.map"
+    [ Typelint.T1_alloc; Typelint.T1_alloc ]
+    vs
+
+let test_t1_flags_partial_application () =
+  let vs =
+    typelint_one "lib/net/fix.ml"
+      "let add3 a b c = a + b + c\nlet[@corelite.hot] part x = add3 x 1\n"
+  in
+  check_rules "partial application" [ Typelint.T1_alloc ] vs
+
+let test_t1_allows_full_application_returning_function () =
+  (* The Event_queue.pop_exn shape: a *full* application whose
+     instantiated result happens to be a function returns an existing
+     closure, it does not build one. Judging by the result type alone
+     would flag this. *)
+  let vs =
+    typelint_one "lib/net/fix.ml"
+      "let get (r : 'a ref) = !r\n\
+       let[@corelite.hot] run (r : (int -> int) ref) x = (get r) x\n"
+  in
+  check_rules "payload-returning full application" [] vs
+
+let test_t1_float_boxing () =
+  (* A float argument instantiating a type variable boxes; an int does
+     not. All-float records store flat, mixed records box the store. *)
+  let vs =
+    typelint_one "lib/net/fix.ml"
+      "let sink _ = ()\n\
+       let[@corelite.hot] leak v = sink (v +. 1.)\n\
+       let[@corelite.hot] ok v = sink (v + 1)\n"
+  in
+  check_rules "float into polymorphic context" [ Typelint.T1_alloc ] vs;
+  let vs =
+    typelint_one "lib/net/fix.ml"
+      "type mixed = { mutable rate : float; id : int }\n\
+       let[@corelite.hot] setr (m : mixed) v = m.rate <- v\n"
+  in
+  check_rules "mixed-record float store" [ Typelint.T1_alloc ] vs;
+  let vs =
+    typelint_one "lib/net/fix.ml"
+      "type flat = { mutable avg : float; mutable last : float }\n\
+       let[@corelite.hot] upd (e : flat) v = e.avg <- 0.9 *. e.avg +. v;\n\
+      \  e.last <- v\n"
+  in
+  check_rules "all-float record stores flat" [] vs
+
+let test_t1_accepts_clean_hot_body () =
+  let vs =
+    typelint_one "lib/net/fix.ml"
+      "type acc = { mutable total : int; mutable count : int }\n\
+       let[@corelite.hot] note (a : acc) v =\n\
+      \  a.total <- a.total + v;\n\
+      \  a.count <- a.count + 1\n\
+       let[@corelite.hot] bump (a : int array) i = a.(i) <- a.(i) + 1\n"
+  in
+  check_rules "mutating ints and array slots is free" [] vs
+
+let test_t1_skips_error_paths_and_unannotated () =
+  (* failwith applications and assert bodies are not steady state, and
+     an unannotated function may allocate freely. *)
+  let vs =
+    typelint_one "lib/net/fix.ml"
+      "let[@corelite.hot] guard x =\n\
+      \  if x < 0 then failwith (string_of_int x);\n\
+      \  assert (Some x <> None);\n\
+      \  x\n\
+       let cold x = Some (x, x)\n"
+  in
+  check_rules "error paths and cold code are exempt" [] vs
+
+let test_t1_waiver () =
+  let vs =
+    typelint_one "lib/net/fix.ml"
+      "let[@corelite.hot] wrap x =\n\
+      \  Some x (* lint: alloc-ok -- same-line waiver *)\n\
+       let[@corelite.hot] wrap2 x =\n\
+      \  (* lint: alloc-ok -- previous-line waiver *)\n\
+      \  Some x\n"
+  in
+  check_rules "waived on same and previous line" [] vs
+
+(* ------------------------------------------------------------------ *)
+(* T2: module-level mutable state under lib/ *)
+
+let test_t2_flags_module_state () =
+  let vs =
+    typelint_one "lib/foo/state.ml"
+      "let total = ref 0\n\
+       let tbl : (int, int) Hashtbl.t = Hashtbl.create 16\n\
+       type cell = { mutable v : int }\n\
+       let c = { v = 0 }\n"
+  in
+  check_rules "ref, Hashtbl and a mutable record"
+    [ Typelint.T2_domain; Typelint.T2_domain; Typelint.T2_domain ]
+    vs
+
+let test_t2_flags_hidden_creation_by_type () =
+  (* Creation hidden behind a call is caught by the binding's type. *)
+  let vs =
+    typelint_one "lib/foo/state.ml"
+      "let make_table () : (int, int) Hashtbl.t = Hashtbl.create 8\n\
+       let shared = make_table ()\n"
+  in
+  check_rules "type-based fallback" [ Typelint.T2_domain ] vs
+
+let test_t2_allows_atomic_dls_and_per_instance () =
+  (* The ISSUE's other acceptance demo, inverted: Atomic state is the
+     sanctioned form — downgrading it to a plain ref is what fails. *)
+  let vs =
+    typelint_one "lib/foo/state.ml"
+      "let hits = Atomic.make 0\n\
+       let slot = Domain.DLS.new_key (fun () -> 0)\n\
+       let fresh () = let c = ref 0 in incr c; !c\n"
+  in
+  check_rules "Atomic, DLS and per-call state pass" [] vs
+
+let test_t2_out_of_scope_outside_lib () =
+  let vs = typelint_one "bin/state.ml" "let total = ref 0\n" in
+  check_rules "executables own their globals" [] vs
+
+let test_t2_waiver () =
+  let vs =
+    typelint_one "lib/foo/state.ml"
+      "let defaults = [| 1; 2; 3 |] (* lint: domain-ok -- read-only *)\n"
+  in
+  check_rules "waived module state" [] vs
+
+(* ------------------------------------------------------------------ *)
+(* T3: Rng escape in the component libraries. The fixtures carry their
+   own module named Rng — the rule matches the resolved ...Rng.t path
+   suffix, so a standalone fixture exercises it without linking sim. *)
+
+let fake_rng =
+  "module Rng = struct\n\
+  \  type t = int\n\
+  \  let create (s : int) : t = s\n\
+  \  let split (x : t) : t = x\n\
+  \  let stream (x : t) (_label : int) : t = x\n\
+   end\n"
+
+let test_t3_flags_minting () =
+  let vs =
+    typelint_one "lib/net/fix.ml" (fake_rng ^ "let mint () = Rng.create 7\n")
+  in
+  check_rules "Rng.create in a component" [ Typelint.T3_rng ] vs
+
+let test_t3_flags_stored_stream () =
+  let vs =
+    typelint_one "lib/net/fix.ml" (fake_rng ^ "let seed : Rng.t = 3\n")
+  in
+  check_rules "module-level Rng.t leak" [ Typelint.T3_rng ] vs
+
+let test_t3_allows_derivation () =
+  let vs =
+    typelint_one "lib/net/fix.ml"
+      (fake_rng
+     ^ "let fork (r : Rng.t) = Rng.split r\n\
+        let labelled (r : Rng.t) = Rng.stream r 9\n")
+  in
+  check_rules "split/stream derivation is legal" [] vs
+
+let test_t3_out_of_scope_in_workload () =
+  (* lib/workload is the scenario root: it owns seeds by design. *)
+  let vs =
+    typelint_one "lib/workload/fix.ml" (fake_rng ^ "let mint () = Rng.create 7\n")
+  in
+  check_rules "scenario roots may mint" [] vs
+
+let test_t3_waiver () =
+  let vs =
+    typelint_one "lib/net/fix.ml"
+      (fake_rng ^ "let mint () = Rng.create 7 (* lint: rng-ok -- test *)\n")
+  in
+  check_rules "waived" [] vs
+
+(* ------------------------------------------------------------------ *)
+(* Driver: read errors, the directory walker, report format *)
+
+let test_read_error_reported () =
+  let root = fixture [ ("lib/garbage.cmt", "not a cmt file\n") ] in
+  let vs = Typelint.check_cmt (Filename.concat root "lib/garbage.cmt") in
+  check_rules "unreadable cmt surfaces" [ Typelint.Read_error ] vs;
+  Alcotest.(check bool) "read errors cannot be waived" true
+    (Typelint.waiver_token Typelint.Read_error = None)
+
+let test_check_paths_walks_and_sorts () =
+  let root =
+    fixture
+      [
+        ("lib/net/b.ml", "let[@corelite.hot] pair x = (x, x)\n");
+        ("lib/net/a.ml", "let[@corelite.hot] wrap x = Some x\n");
+      ]
+  in
+  ignore (compile root "lib/net/a.ml");
+  ignore (compile root "lib/net/b.ml");
+  let vs = Typelint.check_paths [ root ] in
+  check_rules "both cmts, file order" [ Typelint.T1_alloc; Typelint.T1_alloc ] vs;
+  Alcotest.(check bool) "sorted by file" true
+    (match vs with
+    | [ a; b ] ->
+      Filename.basename a.Typelint.file = "a.ml"
+      && Filename.basename b.Typelint.file = "b.ml"
+    | _ -> false)
+
+let test_report_format () =
+  let vs = typelint_one "lib/net/fix.ml" "let[@corelite.hot] wrap x = Some x\n" in
+  let text = Format.asprintf "%a" Typelint.report vs in
+  Alcotest.(check bool) "file:line:col: [RULE] message" true
+    (match vs with
+    | [ v ] ->
+      let prefix = Printf.sprintf "%s:1:" v.Typelint.file in
+      String.starts_with ~prefix text
+      && (let re = "[T1/zero-alloc]" in
+          let rec contains i =
+            i + String.length re <= String.length text
+            && (String.sub text i (String.length re) = re || contains (i + 1))
+          in
+          contains 0)
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Self-check: the shipped lib/ tree stays clean. The test runs from
+   _build/default/test with the check alias built (see test/dune), so
+   the built lib tree with its .cmt files sits one level up. *)
+
+let rec count_cmts path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc e -> count_cmts (Filename.concat path e) acc)
+      acc (Sys.readdir path)
+  else if
+    Filename.check_suffix path ".cmt" || Filename.check_suffix path ".cmti"
+  then acc + 1
+  else acc
+
+let test_lib_tree_clean () =
+  (* Under `dune runtest` the cwd is _build/default/test; under
+     `dune exec` it is the invocation directory. Try both shapes, and
+     guard against vacuous success: an empty walk proves nothing. *)
+  let candidates =
+    [
+      Filename.concat (Filename.dirname (Sys.getcwd ())) "lib";
+      Filename.concat (Sys.getcwd ()) "_build/default/lib";
+    ]
+  in
+  let libdir =
+    match
+      List.find_opt
+        (fun d ->
+          Sys.file_exists d && Sys.is_directory d && count_cmts d 0 > 0)
+        candidates
+    with
+    | Some d -> d
+    | None ->
+      Alcotest.failf "built lib tree with .cmt files not found (tried %s)"
+        (String.concat ", " candidates)
+  in
+  let vs = Typelint.check_paths [ libdir ] in
+  Alcotest.(check (list string)) "zero unwaived violations in lib/" []
+    (List.map
+       (fun v ->
+         Printf.sprintf "%s:%d [%s] %s" v.Typelint.file v.Typelint.line
+           (Typelint.rule_name v.Typelint.rule) v.Typelint.message)
+       vs)
+
+let () =
+  Alcotest.run "typelint"
+    [
+      ( "t1_zero_alloc",
+        [
+          Alcotest.test_case "flags closure" `Quick test_t1_flags_closure;
+          Alcotest.test_case "flags constructor + tuple" `Quick
+            test_t1_flags_constructor_and_tuple;
+          Alcotest.test_case "flags banned calls" `Quick test_t1_flags_banned_calls;
+          Alcotest.test_case "flags partial application" `Quick
+            test_t1_flags_partial_application;
+          Alcotest.test_case "allows payload-returning application" `Quick
+            test_t1_allows_full_application_returning_function;
+          Alcotest.test_case "float boxing" `Quick test_t1_float_boxing;
+          Alcotest.test_case "accepts clean hot body" `Quick
+            test_t1_accepts_clean_hot_body;
+          Alcotest.test_case "skips error paths + cold code" `Quick
+            test_t1_skips_error_paths_and_unannotated;
+          Alcotest.test_case "waiver" `Quick test_t1_waiver;
+        ] );
+      ( "t2_domain_safety",
+        [
+          Alcotest.test_case "flags module state" `Quick test_t2_flags_module_state;
+          Alcotest.test_case "flags hidden creation by type" `Quick
+            test_t2_flags_hidden_creation_by_type;
+          Alcotest.test_case "allows Atomic/DLS/per-instance" `Quick
+            test_t2_allows_atomic_dls_and_per_instance;
+          Alcotest.test_case "out of scope outside lib" `Quick
+            test_t2_out_of_scope_outside_lib;
+          Alcotest.test_case "waiver" `Quick test_t2_waiver;
+        ] );
+      ( "t3_rng_escape",
+        [
+          Alcotest.test_case "flags minting" `Quick test_t3_flags_minting;
+          Alcotest.test_case "flags stored stream" `Quick test_t3_flags_stored_stream;
+          Alcotest.test_case "allows derivation" `Quick test_t3_allows_derivation;
+          Alcotest.test_case "out of scope in workload" `Quick
+            test_t3_out_of_scope_in_workload;
+          Alcotest.test_case "waiver" `Quick test_t3_waiver;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "read error" `Quick test_read_error_reported;
+          Alcotest.test_case "walk + sort" `Quick test_check_paths_walks_and_sorts;
+          Alcotest.test_case "report format" `Quick test_report_format;
+        ] );
+      ( "self_check",
+        [ Alcotest.test_case "lib/ tree clean" `Quick test_lib_tree_clean ] );
+    ]

@@ -402,7 +402,19 @@ let lint_file path =
       };
     ]
   | exception e ->
-    [ { file = path; line = 1; col = 0; rule = Parse_error; message = Printexc.to_string e } ]
+    (* Lexer errors and friends are not [Syntaxerr.Error] but still
+       carry a precise location — ask the compiler for it rather than
+       pinning everything to line 1. *)
+    let line, col, message =
+      match Location.error_of_exn e with
+      | Some (`Ok err) ->
+        let loc = err.Location.main.loc in
+        ( loc.loc_start.pos_lnum,
+          loc.loc_start.pos_cnum - loc.loc_start.pos_bol,
+          Format.asprintf "%t" err.Location.main.txt )
+      | Some `Already_displayed | None -> (1, 0, Printexc.to_string e)
+    in
+    [ { file = path; line; col; rule = Parse_error; message } ]
   | ast, lines ->
     let ctx =
       {

@@ -86,6 +86,11 @@ type violation = {
   message : string;
 }
 
+(** [line_waives lines n token] is true when line [n] (1-based) of
+    [lines] contains a [lint: <token>] comment. Shared with the typed
+    pass (tools/typelint) so both passes honour one waiver syntax. *)
+val line_waives : string array -> int -> string -> bool
+
 (** [lint_file path] runs the expression-level rules (L1, L2, L3, L5)
     on one [.ml] or [.mli] file, applying scope rules (L3/L5 only
     under [lib/]), the L1 allowlist and waiver comments. *)
