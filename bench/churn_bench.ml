@@ -1,0 +1,167 @@
+(* Churn battery harness: dynamic workloads, flash crowds and
+   adversarial heavy hitters under time-windowed fairness gates.
+
+   Runs the Workload.Churn battery twice — serially and sharded across
+   domains through Workload.Pool — and checks two acceptance gates:
+
+   - determinism: the pooled run's CSV payload is byte-identical to the
+     serial one (and, because every arrival, size and fault draw
+     descends from (seed, label) or (fault_seed, label), so is any
+     rerun with the same seeds);
+   - windowed fairness: Corelite's mean windowed Jain index under 10%
+     flow churn AND under the CLEF-style adversary keeps at least 85%
+     of its static-workload value.
+
+   Writes a machine-readable report to results/BENCH_churn.json and
+   exits non-zero if either gate fails, so CI uses it as a smoke test:
+
+     dune exec bench/churn_bench.exe -- --quick -j 2
+
+   The report deliberately contains no wall-clock times or machine
+   facts: two runs with the same flags must produce byte-identical
+   reports, which the CI churn-smoke job checks with cmp. *)
+
+let domains = ref (Workload.Pool.default_domains ())
+
+let quick = ref false
+
+let seed = ref 42
+
+let fault_seed = ref Workload.Churn.default_fault_seed
+
+let gate_ratio = 0.85
+
+let out_path = ref (Filename.concat "results" "BENCH_churn.json")
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_report ~groups ~deterministic ~gates ~gates_ok ~leaked =
+  let oc = open_out !out_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"harness\": \"bench/churn_bench.ml\",\n";
+  p "  \"mode\": \"%s\",\n" (if !quick then "quick" else "full");
+  p "  \"seed\": %d,\n" !seed;
+  p "  \"fault_seed\": %d,\n" !fault_seed;
+  p "  \"gate_ratio\": %.2f,\n" gate_ratio;
+  p "  \"groups\": [\n";
+  let n_groups = List.length groups in
+  List.iteri
+    (fun gi (name, points) ->
+      p "    {\"name\": \"%s\", \"points\": [\n" (escape name);
+      let n = List.length points in
+      List.iteri
+        (fun i (pt : Workload.Churn.point) ->
+          p "      {\"label\": \"%s\", \"variant\": \"%s\", \"arrivals\": %d, \
+             \"completed\": %d, \"expired\": %d, \"leaked\": %d, \
+             \"windowed_jain\": %.6f, \"goodput\": %.3f, \
+             \"adversary_share\": %.6f, \"core_drops\": %d, \
+             \"injected_drops\": %d}%s\n"
+            (escape pt.Workload.Churn.label)
+            (escape pt.Workload.Churn.variant)
+            pt.Workload.Churn.arrivals pt.Workload.Churn.completed
+            pt.Workload.Churn.expired pt.Workload.Churn.leaked
+            pt.Workload.Churn.windowed_jain pt.Workload.Churn.goodput
+            pt.Workload.Churn.adversary_share pt.Workload.Churn.core_drops
+            pt.Workload.Churn.injected_drops
+            (if i = n - 1 then "" else ","))
+        points;
+      p "    ]}%s\n" (if gi = n_groups - 1 then "" else ","))
+    groups;
+  p "  ],\n";
+  p "  \"corelite_gates\": [\n";
+  let n_gates = List.length gates in
+  List.iteri
+    (fun i (variant, jain, baseline, pass) ->
+      p "    {\"variant\": \"%s\", \"windowed_jain\": %.6f, \
+         \"static_baseline\": %.6f, \"pass\": %b}%s\n"
+        (escape variant) jain baseline pass
+        (if i = n_gates - 1 then "" else ","))
+    gates;
+  p "  ],\n";
+  p "  \"leaked_flow_state\": %d,\n" leaked;
+  p "  \"gates_ok\": %b,\n" gates_ok;
+  p "  \"deterministic\": %b\n" deterministic;
+  p "}\n";
+  close_out oc
+
+let () =
+  Arg.parse
+    [
+      ("-j", Arg.Set_int domains, "N  shard the parallel pass over N domains");
+      ("--domains", Arg.Set_int domains, "N  same as -j");
+      ("--quick", Arg.Set quick, "  40 s runs instead of 80 s (CI smoke test)");
+      ("--seed", Arg.Set_int seed, "N  workload seed (default 42)");
+      ( "--fault-seed",
+        Arg.Set_int fault_seed,
+        "N  fault-plan seed; same seed replays every fault draw (default 271828)" );
+      ( "--out",
+        Arg.Set_string out_path,
+        "PATH  report path (default results/BENCH_churn.json)" );
+    ]
+    (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
+    "churn_bench.exe [-j N] [--quick] [--seed N] [--fault-seed N] [--out PATH]";
+  let serial =
+    Workload.Churn.all ~seed:!seed ~quick:!quick ~fault_seed:!fault_seed ()
+  in
+  let parallel =
+    Workload.Churn.all_parallel ~domains:!domains ~seed:!seed ~quick:!quick
+      ~fault_seed:!fault_seed ()
+  in
+  let serial_csv = Workload.Churn.csv_of_groups serial in
+  let parallel_csv = Workload.Churn.csv_of_groups parallel in
+  let deterministic = String.equal serial_csv parallel_csv in
+  let corelite_points =
+    match List.assoc_opt "corelite" serial with
+    | Some points -> points
+    | None -> failwith "churn_bench: no corelite group in the battery"
+  in
+  let gates = Workload.Churn.gate ~ratio:gate_ratio corelite_points in
+  let gates_ok = List.for_all (fun (_, _, _, pass) -> pass) gates in
+  let leaked =
+    List.fold_left
+      (fun acc (_, points) ->
+        List.fold_left
+          (fun acc (pt : Workload.Churn.point) ->
+            acc + pt.Workload.Churn.leaked)
+          acc points)
+      0 serial
+  in
+  write_report ~groups:serial ~deterministic ~gates ~gates_ok ~leaked;
+  List.iter (fun g -> Format.printf "%a@." Workload.Churn.pp_points g) serial;
+  List.iter
+    (fun (variant, jain, baseline, pass) ->
+      Printf.printf
+        "corelite %-12s windowed jain %.4f vs static %.4f (ratio %.3f, gate \
+         %.2f) %s\n"
+        variant jain baseline
+        (jain /. Float.max 1e-9 baseline)
+        gate_ratio
+        (if pass then "OK" else "FAIL"))
+    gates;
+  Printf.printf "deterministic(serial = %d domains) %b  leaked flow state %d\n"
+    !domains deterministic leaked;
+  Printf.printf "report: %s\n" !out_path;
+  if not deterministic then begin
+    prerr_endline "churn_bench: PARALLEL RUN DIVERGED FROM SERIAL";
+    exit 1
+  end;
+  if leaked <> 0 then begin
+    prerr_endline "churn_bench: FLOW TABLE LEAKED SOFT STATE AFTER THE DRAIN";
+    exit 1
+  end;
+  if not gates_ok then begin
+    prerr_endline "churn_bench: WINDOWED FAIRNESS BELOW THE 0.85 GATE";
+    exit 1
+  end

@@ -7,6 +7,9 @@
    - a pooled scenario battery exercising the per-scenario RNG streams;
    - the chaos battery (robustness extension): marker loss, bursty
      loss, link flaps and router resets, replayable with --fault-seed;
+   - the churn battery (robustness extension): Poisson flow arrivals,
+     flash crowds, a CLEF-style adversarial heavy hitter and churn
+     composed with faults, gated on windowed Jain;
    - the TCP-aggregation extension.
 
    Every scenario is submitted through Workload.Pool, so the suite
@@ -223,6 +226,30 @@ let chaos () =
   close_out oc;
   Printf.printf "chaos CSV written to %s\n" path
 
+(* The churn battery: Poisson transient arrivals with Pareto sizes, a
+   diurnal intensity curve and a mid-run flash crowd over 8 long-lived
+   base flows, with edge state created at first packet and aged out by
+   the soft-state expiry sweep. Variants add a CLEF-style adversarial
+   heavy hitter and churn composed with fault injection; the gated
+   metric is windowed Jain against each scheme's own static baseline.
+   Every draw descends from (seed, label) or (--fault-seed, label), so
+   a churn run replays byte-identically from the flags alone. *)
+let churn () =
+  hr (Printf.sprintf "Churn battery (dynamic workloads; fault seed %d)" !fault_seed);
+  let groups =
+    Workload.Churn.all_parallel ~domains:!domains ~fault_seed:!fault_seed ()
+  in
+  List.iter
+    (fun named ->
+      Workload.Churn.pp_points Format.std_formatter named;
+      Format.print_newline ())
+    groups;
+  let path = Filename.concat results_dir "churn_battery.csv" in
+  let oc = open_out path in
+  output_string oc (Workload.Churn.csv_of_groups groups);
+  close_out oc;
+  Printf.printf "churn CSV written to %s\n" path
+
 let tcp_extension () =
   hr "Extension: TCP micro-flows in shaped aggregates";
   let engine = Sim.Engine.create () in
@@ -283,4 +310,5 @@ let () =
   sweeps ();
   scenario_battery ();
   chaos ();
+  churn ();
   tcp_extension ()

@@ -8,6 +8,13 @@ type t = {
   cores : Core.t list;
   core_links : Net.Link.t list;
   drops_by_flow : (int, int) Hashtbl.t;
+  (* The feedback control plane reads [agents] and [delays] through the
+     per-core [send_feedback] closures, so flows added after wiring
+     (churn) become reachable by mutating these two tables; [params] and
+     [rng] are kept to build mid-run agents the same way [build] does. *)
+  delays : (int * int, float) Hashtbl.t;
+  params : Params.t;
+  rng : Sim.Rng.t;
 }
 
 (* Wire core-router logic for a set of pre-built agents: feedback
@@ -69,7 +76,7 @@ let of_agents ?fault ~params ~rng ~topology ~agents ~core_links () =
         Core.attach ~params ~rng:(Sim.Rng.split rng) ~send_feedback link)
       core_links
   in
-  { topology; agents; cores; core_links; drops_by_flow }
+  { topology; agents; cores; core_links; drops_by_flow; delays; params; rng }
 
 let build ?fault ~params ~rng ~topology ~flows ~core_links () =
   let agents = Hashtbl.create 32 in
@@ -104,6 +111,93 @@ let start_flow t id = Edge.start (agent t id)
 let stop_flow t id = Edge.stop (agent t id)
 
 let start_all t = List.iter (fun (_, a) -> Edge.start a) (agents t)
+
+(* Dynamic flow lifecycle (churn). The paper's soft-state story: edges
+   create per-flow state when a flow first appears and age it out when
+   the flow goes silent; cores never hold per-flow state, so nothing
+   else in the deployment needs to learn about arrivals or departures —
+   the feedback closures simply stop finding retired flows. Every
+   transition is declared to the [Sim.Invariant] flow ledger and traced
+   so churn oracles can prove the flow table never leaks. *)
+
+let has_flow t id = Hashtbl.mem t.agents id
+
+let live_flows t = Hashtbl.length t.agents
+
+let add_flow t ?(floor = 0.) ?(size = 0) flow =
+  let id = flow.Net.Flow.id in
+  if Hashtbl.mem t.agents id then
+    invalid_arg (Printf.sprintf "Deployment.add_flow: duplicate flow %d" id);
+  let epoch = t.params.Params.source.Net.Source.epoch in
+  let epoch_offset = Sim.Rng.float t.rng epoch in
+  let agent = Edge.create ~params:t.params ~topology:t.topology ~flow ~floor ~epoch_offset () in
+  Hashtbl.add t.agents id agent;
+  List.iter
+    (fun link ->
+      match Net.Flow.upstream_delay flow t.topology link with
+      | Some d -> Hashtbl.replace t.delays (link.Net.Link.id, id) d
+      | None -> ())
+    t.core_links;
+  Sim.Invariant.note_flow_created ();
+  let engine = Net.Topology.engine t.topology in
+  let trace = Sim.Engine.trace engine in
+  if Sim.Trace.want trace Sim.Trace.Flow_start then
+    Sim.Trace.record trace ~time:(Sim.Engine.now engine) Sim.Trace.Flow_start
+      ~a:id
+      ~b:(Net.Flow.ingress flow).Net.Node.id
+      ~x:flow.Net.Flow.weight ~y:(float_of_int size);
+  Edge.start agent;
+  agent
+
+(* Routes stay installed on retirement (in-flight packets must still
+   reach their sink; see [Edge.stop]); what is reclaimed is the edge's
+   per-flow soft state. Feedback already scheduled toward a retired
+   agent lands in [Edge.receive_feedback]'s [running] guard and is
+   dropped without trace, so no feedback is ever attributed to a flow
+   after its end or expiry event. *)
+let retire t id agent ~kind ~idle =
+  Edge.stop agent;
+  Hashtbl.remove t.agents id;
+  List.iter
+    (fun link -> Hashtbl.remove t.delays (link.Net.Link.id, id))
+    t.core_links;
+  let engine = Net.Topology.engine t.topology in
+  let trace = Sim.Engine.trace engine in
+  match kind with
+  | `End ->
+    Sim.Invariant.note_flow_retired ();
+    if Sim.Trace.want trace Sim.Trace.Flow_end then
+      Sim.Trace.record trace ~time:(Sim.Engine.now engine) Sim.Trace.Flow_end
+        ~a:id ~b:0
+        ~x:(float_of_int (Edge.sent agent))
+        ~y:(float_of_int (Edge.delivered agent))
+  | `Expire ->
+    Sim.Invariant.note_flow_expired ();
+    if Sim.Trace.want trace Sim.Trace.Flow_expire then
+      Sim.Trace.record trace ~time:(Sim.Engine.now engine) Sim.Trace.Flow_expire
+        ~a:id ~b:0 ~x:idle ~y:0.
+
+let end_flow t id =
+  match Hashtbl.find_opt t.agents id with
+  | None -> invalid_arg (Printf.sprintf "Deployment.end_flow: unknown flow %d" id)
+  | Some agent -> retire t id agent ~kind:`End ~idle:0.
+
+let expire_idle t ~timeout =
+  if timeout <= 0. then
+    invalid_arg "Deployment.expire_idle: timeout must be positive";
+  let now = Sim.Engine.now (Net.Topology.engine t.topology) in
+  let stale =
+    Hashtbl.fold
+      (fun id agent acc ->
+        let idle = now -. Edge.last_activity agent in
+        if idle >= timeout then (id, agent, idle) :: acc else acc)
+      t.agents []
+    (* Sorted so expiry events appear in flow-id order regardless of
+       hash-bucket iteration order: replay byte-determinism. *)
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  List.iter (fun (id, agent, idle) -> retire t id agent ~kind:`Expire ~idle) stale;
+  List.length stale
 
 let total_feedback t =
   List.fold_left (fun acc core -> acc + Core.feedback_sent core) 0 t.cores

@@ -64,6 +64,47 @@ val stop_flow : t -> int -> unit
 
 val start_all : t -> unit
 
+(** {1 Dynamic flow lifecycle (churn)}
+
+    Edges create per-flow soft state when a flow first appears and age
+    it out when the flow goes silent; cores hold no per-flow state, so
+    arrivals and departures need no core-side signalling. Each
+    transition is declared to the {!Sim.Invariant} flow ledger
+    ([note_flow_created] / [note_flow_retired] / [note_flow_expired])
+    and recorded as a [Flow_start] / [Flow_end] / [Flow_expire] trace
+    event, so churn oracles can prove the edge flow table never leaks:
+    created = retired + {!live_flows}. *)
+
+(** [add_flow t flow] creates and starts an agent for a flow arriving
+    mid-run: the per-(core link, flow) feedback delay entries are
+    registered and the agent becomes reachable by the already-wired
+    core feedback closures. [size] (packets; 0 = open-ended) only
+    annotates the [Flow_start] trace event.
+    @raise Invalid_argument on a duplicate live flow id. *)
+val add_flow : t -> ?floor:float -> ?size:int -> Net.Flow.t -> Edge.t
+
+(** [end_flow t id] retires a flow that completed: stops its source and
+    discards the edge's per-flow state. Routes stay installed so
+    in-flight packets still reach their sink; feedback already in
+    flight is dropped by the agent's [running] guard, so no feedback is
+    attributed to the flow after its [Flow_end] event.
+    @raise Invalid_argument for an unknown (or already retired) id. *)
+val end_flow : t -> int -> unit
+
+(** [expire_idle t ~timeout] sweeps the soft-state table: every agent
+    whose last packet emission is at least [timeout] seconds old is
+    retired as expired (ledger [note_flow_expired], trace
+    [Flow_expire], in flow-id order). Returns the number expired.
+    Schedule periodically for the paper's soft-state expiry semantics.
+    @raise Invalid_argument on a non-positive [timeout]. *)
+val expire_idle : t -> timeout:float -> int
+
+(** Whether a flow currently holds edge state. *)
+val has_flow : t -> int -> bool
+
+(** Number of flows currently holding edge state. *)
+val live_flows : t -> int
+
 (** Total feedback markers sent by all core links. *)
 val total_feedback : t -> int
 

@@ -2,6 +2,12 @@ let log = Logs.Src.create "corelite.edge" ~doc:"Corelite edge agents"
 
 module Log = (val Logs.src_log log : Logs.LOG)
 
+(* Flat all-float record: the timestamp store in [emit] is an unboxed
+   in-place write, keeping activity stamping off the hot path's
+   allocation budget (a mutable float field of the mixed record [t]
+   would box on every assignment). *)
+type clock = { mutable at : float }
+
 type t = {
   params : Params.t;
   topology : Net.Topology.t;
@@ -19,6 +25,7 @@ type t = {
   mutable markers_attached : int;
   mutable feedback_received : int;
   mutable delivered : int;
+  activity : clock;  (* time of the last packet this agent emitted *)
   delay : Sim.Stats.Welford.t;  (* end-to-end delay of delivered packets *)
   delay_p99 : Sim.Stats.Quantile.t;
 }
@@ -40,6 +47,8 @@ let mean_delay t = Sim.Stats.Welford.mean t.delay
 let p99_delay t = Sim.Stats.Quantile.estimate t.delay_p99
 
 let sent t = t.sent
+
+let last_activity t = t.activity.at
 
 let markers_attached t = t.markers_attached
 
@@ -85,6 +94,7 @@ let[@corelite.hot] emit t ~now ~rate =
           ~a:t.flow.Net.Flow.id ~b:edge_id ~x:normalized_rate ~y:0.
     end;
     t.sent <- t.sent + 1;
+    t.activity.at <- now;
     Net.Node.receive (Net.Flow.ingress t.flow) pkt
 
 let create ~params ~topology ~flow ?(floor = 0.) ?(epoch_offset = 0.) ?supply
@@ -109,6 +119,7 @@ let create ~params ~topology ~flow ?(floor = 0.) ?(epoch_offset = 0.) ?supply
       markers_attached = 0;
       feedback_received = 0;
       delivered = 0;
+      activity = { at = Sim.Engine.now engine };
       delay = Sim.Stats.Welford.create ();
       delay_p99 = Sim.Stats.Quantile.create ~q:0.99;
     }

@@ -81,6 +81,11 @@ val p99_delay : t -> float
 (** Data packets sent, markers attached, feedback markers received. *)
 val sent : t -> int
 
+(** Simulation time of this agent's most recent packet emission
+    (creation time before any packet). Drives soft-state expiry: a
+    dynamic deployment ages out agents idle past a timeout. *)
+val last_activity : t -> float
+
 val markers_attached : t -> int
 
 val feedback_received : t -> int

@@ -3,10 +3,18 @@ type flow_spec = { flow : Net.Flow.t; floor : float }
 let spec ?(floor = 0.) flow = { flow; floor }
 
 type t = {
+  topology : Net.Topology.t;
   agents : (int, Edge.t) Hashtbl.t;
   cores : Core.t list;
   core_links : Net.Link.t list;
   drops_by_flow : (int, int) Hashtbl.t;
+  (* The per-link [on_drop] closures read [agents] and [delays], so
+     flows added after wiring (churn) become reachable by mutating
+     these tables; [params] and [rng] build mid-run agents the same way
+     [build] does (mirrors Corelite.Deployment). *)
+  delays : (int * int, float) Hashtbl.t;
+  params : Params.t;
+  rng : Sim.Rng.t;
 }
 
 let build ?(attach_cores = true) ~params ~rng ~topology ~flows ~core_links () =
@@ -69,7 +77,7 @@ let build ?(attach_cores = true) ~params ~rng ~topology ~flows ~core_links () =
         core)
       core_links
   in
-  { agents; cores; core_links; drops_by_flow }
+  { topology; agents; cores; core_links; drops_by_flow; delays; params; rng }
 
 let agent t id =
   match Hashtbl.find_opt t.agents id with
@@ -87,6 +95,84 @@ let start_flow t id = Edge.start (agent t id)
 let stop_flow t id = Edge.stop (agent t id)
 
 let start_all t = List.iter (fun (_, a) -> Edge.start a) (agents t)
+
+(* Dynamic flow lifecycle (churn) — same contract as
+   Corelite.Deployment: per-flow edge state is created on arrival and
+   aged out when silent, every transition is declared to the
+   [Sim.Invariant] flow ledger and traced, and loss notifications
+   toward a retired agent vanish in [Edge.note_loss]'s [running] guard. *)
+
+let has_flow t id = Hashtbl.mem t.agents id
+
+let live_flows t = Hashtbl.length t.agents
+
+let add_flow t ?(floor = 0.) ?(size = 0) flow =
+  let id = flow.Net.Flow.id in
+  if Hashtbl.mem t.agents id then
+    invalid_arg (Printf.sprintf "Csfq.Deployment.add_flow: duplicate flow %d" id);
+  let epoch = t.params.Params.source.Net.Source.epoch in
+  let epoch_offset = Sim.Rng.float t.rng epoch in
+  let agent = Edge.create ~params:t.params ~topology:t.topology ~flow ~floor ~epoch_offset () in
+  Hashtbl.add t.agents id agent;
+  List.iter
+    (fun link ->
+      match Net.Flow.upstream_delay flow t.topology link with
+      | Some d -> Hashtbl.replace t.delays (link.Net.Link.id, id) d
+      | None -> ())
+    t.core_links;
+  Sim.Invariant.note_flow_created ();
+  let engine = Net.Topology.engine t.topology in
+  let trace = Sim.Engine.trace engine in
+  if Sim.Trace.want trace Sim.Trace.Flow_start then
+    Sim.Trace.record trace ~time:(Sim.Engine.now engine) Sim.Trace.Flow_start
+      ~a:id
+      ~b:(Net.Flow.ingress flow).Net.Node.id
+      ~x:flow.Net.Flow.weight ~y:(float_of_int size);
+  Edge.start agent;
+  agent
+
+let retire t id agent ~kind ~idle =
+  Edge.stop agent;
+  Hashtbl.remove t.agents id;
+  List.iter
+    (fun link -> Hashtbl.remove t.delays (link.Net.Link.id, id))
+    t.core_links;
+  let engine = Net.Topology.engine t.topology in
+  let trace = Sim.Engine.trace engine in
+  match kind with
+  | `End ->
+    Sim.Invariant.note_flow_retired ();
+    if Sim.Trace.want trace Sim.Trace.Flow_end then
+      Sim.Trace.record trace ~time:(Sim.Engine.now engine) Sim.Trace.Flow_end
+        ~a:id ~b:0
+        ~x:(float_of_int (Edge.sent agent))
+        ~y:(float_of_int (Edge.delivered agent))
+  | `Expire ->
+    Sim.Invariant.note_flow_expired ();
+    if Sim.Trace.want trace Sim.Trace.Flow_expire then
+      Sim.Trace.record trace ~time:(Sim.Engine.now engine) Sim.Trace.Flow_expire
+        ~a:id ~b:0 ~x:idle ~y:0.
+
+let end_flow t id =
+  match Hashtbl.find_opt t.agents id with
+  | None ->
+    invalid_arg (Printf.sprintf "Csfq.Deployment.end_flow: unknown flow %d" id)
+  | Some agent -> retire t id agent ~kind:`End ~idle:0.
+
+let expire_idle t ~timeout =
+  if timeout <= 0. then
+    invalid_arg "Csfq.Deployment.expire_idle: timeout must be positive";
+  let now = Sim.Engine.now (Net.Topology.engine t.topology) in
+  let stale =
+    Hashtbl.fold
+      (fun id agent acc ->
+        let idle = now -. Edge.last_activity agent in
+        if idle >= timeout then (id, agent, idle) :: acc else acc)
+      t.agents []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  List.iter (fun (id, agent, idle) -> retire t id agent ~kind:`Expire ~idle) stale;
+  List.length stale
 
 let total_drops t =
   List.fold_left (fun acc link -> acc + link.Net.Link.drops) 0 t.core_links

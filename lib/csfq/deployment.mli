@@ -38,6 +38,36 @@ val stop_flow : t -> int -> unit
 
 val start_all : t -> unit
 
+(** {1 Dynamic flow lifecycle (churn)}
+
+    Same contract as the Corelite deployment: per-flow edge state is
+    created on arrival and aged out when silent; each transition is
+    declared to the {!Sim.Invariant} flow ledger and recorded as a
+    [Flow_start] / [Flow_end] / [Flow_expire] trace event. *)
+
+(** Create and start an agent for a flow arriving mid-run. [size]
+    (packets; 0 = open-ended) only annotates the [Flow_start] event.
+    @raise Invalid_argument on a duplicate live flow id. *)
+val add_flow : t -> ?floor:float -> ?size:int -> Net.Flow.t -> Edge.t
+
+(** Retire a completed flow: stop its source, discard its edge state.
+    Loss notifications already in flight are dropped by the agent's
+    [running] guard.
+    @raise Invalid_argument for an unknown (or already retired) id. *)
+val end_flow : t -> int -> unit
+
+(** Age out every agent idle for at least [timeout] seconds (ledger
+    [note_flow_expired], trace [Flow_expire], flow-id order); returns
+    the number expired.
+    @raise Invalid_argument on a non-positive [timeout]. *)
+val expire_idle : t -> timeout:float -> int
+
+(** Whether a flow currently holds edge state. *)
+val has_flow : t -> int -> bool
+
+(** Number of flows currently holding edge state. *)
+val live_flows : t -> int
+
 (** Total packets lost on core links (early drops + overflows). *)
 val total_drops : t -> int
 

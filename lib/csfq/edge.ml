@@ -1,3 +1,7 @@
+(* Flat all-float record so the activity stamp in [emit] is an unboxed
+   in-place write (mirrors Corelite.Edge). *)
+type clock = { mutable at : float }
+
 type t = {
   topology : Net.Topology.t;
   flow : Net.Flow.t;
@@ -10,6 +14,7 @@ type t = {
   mutable losses : int;
   mutable delivered : int;
   mutable current_label : float;
+  activity : clock;  (* time of the last packet this agent emitted *)
   delay : Sim.Stats.Welford.t;  (* end-to-end delay of delivered packets *)
   delay_p99 : Sim.Stats.Quantile.t;
 }
@@ -30,6 +35,8 @@ let p99_delay t = Sim.Stats.Quantile.estimate t.delay_p99
 
 let sent t = t.sent
 
+let last_activity t = t.activity.at
+
 let losses t = t.losses
 
 let current_label t = t.current_label
@@ -48,6 +55,7 @@ let emit t ~now ~rate:_ =
   in
   pkt.Net.Packet.label <- t.current_label;
   t.sent <- t.sent + 1;
+  t.activity.at <- now;
   Net.Node.receive (Net.Flow.ingress t.flow) pkt
 
 let create ~params ~topology ~flow ?(floor = 0.) ?(epoch_offset = 0.) () =
@@ -66,6 +74,7 @@ let create ~params ~topology ~flow ?(floor = 0.) ?(epoch_offset = 0.) () =
       losses = 0;
       delivered = 0;
       current_label = 0.;
+      activity = { at = Sim.Engine.now engine };
       delay = Sim.Stats.Welford.create ();
       delay_p99 = Sim.Stats.Quantile.create ~q:0.99;
     }

@@ -47,6 +47,11 @@ val p99_delay : t -> float
 
 val sent : t -> int
 
+(** Simulation time of this agent's most recent packet emission
+    (creation time before any packet). Drives soft-state expiry in
+    dynamic deployments, mirroring [Corelite.Edge.last_activity]. *)
+val last_activity : t -> float
+
 val losses : t -> int
 
 (** Last label stamped on an outgoing packet (normalized pkt/s). *)

@@ -16,3 +16,4 @@
 module Maxmin = Maxmin
 module Fluid = Fluid
 module Metrics = Metrics
+module Windowed = Windowed

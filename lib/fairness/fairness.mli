@@ -16,3 +16,8 @@
 module Maxmin = Maxmin
 module Fluid = Fluid
 module Metrics = Metrics
+
+module Windowed = Windowed
+(** Time-windowed fairness (windowed Jain, per-epoch normalized
+    throughput, multi-timescale bandwidth profiles) for dynamic
+    workloads where no steady state exists. *)

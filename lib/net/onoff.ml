@@ -17,18 +17,28 @@ let rec flip t state () =
     t.transitions <- t.transitions + 1;
     let mean = if state then t.on_mean else t.off_mean in
     let hold =
+      (* Not arrival-process sampling: these draw the on/off hold times
+         of one already-arrived source, from the caller's RNG, under a
+         plan Workload.Arrivals produced. *)
       match t.distribution with
-      | Exponential -> Sim.Rng.exponential t.rng ~mean
-      | Pareto shape -> Sim.Rng.pareto t.rng ~shape ~mean
+      | Exponential -> Sim.Rng.exponential t.rng ~mean (* lint: churn-ok *)
+      | Pareto shape -> Sim.Rng.pareto t.rng ~shape ~mean (* lint: churn-ok *)
     in
     ignore (Sim.Engine.schedule t.engine ~delay:hold (flip t (not state)))
   end
 
 let start ~engine ~rng ?(distribution = Exponential) ~on_mean ~off_mean set =
-  if on_mean <= 0. || off_mean <= 0. then
-    invalid_arg "Onoff.start: means must be positive";
+  (* Finiteness matters as much as sign: a nan mean passes [<= 0.] and
+     turns every hold time into nan, scheduling the flip at a nan
+     timestamp. *)
+  if
+    not
+      (Float.is_finite on_mean && on_mean > 0. && Float.is_finite off_mean
+     && off_mean > 0.)
+  then invalid_arg "Onoff.start: means must be positive";
   (match distribution with
-  | Pareto shape when shape <= 1. -> invalid_arg "Onoff.start: Pareto shape must exceed 1"
+  | Pareto shape when not (Float.is_finite shape && shape > 1.) ->
+    invalid_arg "Onoff.start: Pareto shape must exceed 1"
   | Pareto _ | Exponential -> ());
   let t =
     {

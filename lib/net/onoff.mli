@@ -16,8 +16,9 @@ type distribution = Exponential | Pareto of float
 (** [start ~engine ~rng ~on_mean ~off_mean set] begins in the "on"
     state (calls [set true] immediately). [distribution] defaults to
     {!Exponential}.
-    @raise Invalid_argument on non-positive means or a Pareto shape
-    of at most 1. *)
+    @raise Invalid_argument on non-positive or non-finite means or a
+    Pareto shape of at most 1 (or non-finite) — a nan mean would
+    otherwise schedule the next flip at a nan timestamp. *)
 val start :
   engine:Sim.Engine.t ->
   rng:Sim.Rng.t ->

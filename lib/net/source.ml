@@ -82,16 +82,35 @@ let[@corelite.hot] pace t =
   end
 
 let create ~engine ?(id = -1) ?(epoch_offset = 0.) ~params ~emit ~collect () =
-  if params.initial_rate <= 0. then invalid_arg "Source.create: initial_rate";
-  if params.epoch <= 0. then invalid_arg "Source.create: epoch";
+  (* Every rate, period and start offset is validated up front: a nan or
+     non-positive value would not fail here but silently produce a nan
+     pacing schedule (nan compares false against every guard), and the
+     first visible symptom would be an engine that never fires. *)
+  let positive what v =
+    if not (Float.is_finite v && v > 0.) then
+      invalid_arg (Printf.sprintf "Source.create: %s must be positive" what)
+  in
+  let non_negative what v =
+    if not (Float.is_finite v && v >= 0.) then
+      invalid_arg (Printf.sprintf "Source.create: %s must be non-negative" what)
+  in
+  positive "initial_rate" params.initial_rate;
+  positive "epoch" params.epoch;
+  positive "alpha" params.alpha;
+  positive "beta" params.beta;
+  positive "ss_thresh" params.ss_thresh;
+  positive "ss_period" params.ss_period;
+  non_negative "min_rate" params.min_rate;
+  non_negative "floor" params.floor;
   if params.silence_epochs < 0 then
     invalid_arg "Source.create: silence_epochs must be non-negative";
   if
     params.silence_epochs > 0
     && not (Float.is_finite params.restore && params.restore > 1.)
   then invalid_arg "Source.create: restore must be a finite factor > 1";
-  if epoch_offset < 0. || epoch_offset >= params.epoch then
-    invalid_arg "Source.create: epoch_offset out of [0, epoch)";
+  if not (Float.is_finite epoch_offset && epoch_offset >= 0.)
+     || epoch_offset >= params.epoch
+  then invalid_arg "Source.create: epoch_offset out of [0, epoch)";
   let t =
     {
       engine;

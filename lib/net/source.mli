@@ -67,7 +67,16 @@ type t
     agent's adaptation and slow-start timers. Deployments draw it at
     random per flow: edge routers are not clock-synchronized, and
     phase-locked timers would make all flows raise their rates in the
-    same instant — an artifact a packet-level simulator must avoid. *)
+    same instant — an artifact a packet-level simulator must avoid.
+
+    @raise Invalid_argument when any rate or period parameter
+    ([initial_rate], [epoch], [alpha], [beta], [ss_thresh],
+    [ss_period]) is non-positive or non-finite, when [min_rate] or
+    [floor] is negative or non-finite, when [silence_epochs] is
+    negative or its [restore] factor is not a finite value [> 1], or
+    when [epoch_offset] falls outside [0, epoch) — a nan here would
+    otherwise pass every sign check and silently produce a nan pacing
+    schedule. *)
 val create :
   engine:Sim.Engine.t ->
   ?id:int ->

@@ -40,3 +40,29 @@ let note_feedback_loss () = Atomic.incr feedback_losses
 let marker_losses_noted () = Atomic.get marker_losses
 
 let feedback_losses_noted () = Atomic.get feedback_losses
+
+(* Flow-table ledger. Dynamic (churn) deployments create per-flow edge
+   state on first packet and retire it on completion or soft-state
+   expiry. The ledger counts both sides so a churn oracle can prove the
+   table never leaks: created = retired + live at every stable point.
+   Writers are the corelite/csfq dynamic deployments; counters are
+   process-wide and atomic for the same reason as the fault ledger. *)
+let flow_creations = Atomic.make 0
+
+let flow_retirements = Atomic.make 0
+
+let flow_expiries = Atomic.make 0
+
+let note_flow_created () = Atomic.incr flow_creations
+
+let note_flow_retired () = Atomic.incr flow_retirements
+
+let note_flow_expired () =
+  Atomic.incr flow_expiries;
+  Atomic.incr flow_retirements
+
+let flows_created () = Atomic.get flow_creations
+
+let flows_retired () = Atomic.get flow_retirements
+
+let flows_expired () = Atomic.get flow_expiries

@@ -53,3 +53,30 @@ val note_feedback_loss : unit -> unit
 val marker_losses_noted : unit -> int
 
 val feedback_losses_noted : unit -> int
+
+(** {1 Flow-table ledger}
+
+    Dynamic (churn) deployments create per-flow edge state on a flow's
+    first packet and retire it when the flow completes or its soft
+    state expires idle. Every creation and retirement is declared here
+    so churn oracles can prove the edge flow table never leaks:
+    [flows_created () = flows_retired () + live] at any stable point,
+    and [flows_expired () <= flows_retired ()]. Writers are the
+    corelite/csfq dynamic deployments. Counters are process-wide and
+    atomic, mirroring the fault ledger. *)
+
+(** Record one per-flow edge state created. *)
+val note_flow_created : unit -> unit
+
+(** Record one per-flow edge state retired (explicit flow end). *)
+val note_flow_retired : unit -> unit
+
+(** Record one per-flow edge state retired by idle soft-state expiry.
+    Counts toward both [flows_expired] and [flows_retired]. *)
+val note_flow_expired : unit -> unit
+
+val flows_created : unit -> int
+
+val flows_retired : unit -> int
+
+val flows_expired : unit -> int

@@ -11,8 +11,11 @@ type kind =
   | Rate_update
   | Alpha_update
   | Fault
+  | Flow_start
+  | Flow_end
+  | Flow_expire
 
-let n_kinds = 12
+let n_kinds = 15
 
 let kind_index = function
   | Enqueue -> 0
@@ -27,6 +30,9 @@ let kind_index = function
   | Rate_update -> 9
   | Alpha_update -> 10
   | Fault -> 11
+  | Flow_start -> 12
+  | Flow_end -> 13
+  | Flow_expire -> 14
 
 let kind_of_index = function
   | 0 -> Enqueue
@@ -41,6 +47,9 @@ let kind_of_index = function
   | 9 -> Rate_update
   | 10 -> Alpha_update
   | 11 -> Fault
+  | 12 -> Flow_start
+  | 13 -> Flow_end
+  | 14 -> Flow_expire
   | i -> invalid_arg (Printf.sprintf "Trace.kind_of_index: %d" i)
 
 let kind_name = function
@@ -56,8 +65,15 @@ let kind_name = function
   | Rate_update -> "rate_update"
   | Alpha_update -> "alpha_update"
   | Fault -> "fault"
+  | Flow_start -> "flow_start"
+  | Flow_end -> "flow_end"
+  | Flow_expire -> "flow_expire"
 
-let all_kinds =
+(* The twelve kinds that predate dynamic flow lifecycle. [digest]
+   prints these unconditionally (historic golden format) and the
+   lifecycle kinds only when they actually fired, so static-workload
+   digests are byte-identical to those produced before churn existed. *)
+let legacy_kinds =
   [
     Enqueue;
     Dequeue;
@@ -73,6 +89,10 @@ let all_kinds =
     Fault;
   ]
 
+let lifecycle_kinds = [ Flow_start; Flow_end; Flow_expire ]
+
+let all_kinds = legacy_kinds @ lifecycle_kinds
+
 let control_kinds =
   [
     Drop;
@@ -83,6 +103,9 @@ let control_kinds =
     Rate_update;
     Alpha_update;
     Fault;
+    Flow_start;
+    Flow_end;
+    Flow_expire;
   ]
 
 type spec = { capacity : int; kinds : kind list }
@@ -263,7 +286,13 @@ let digest t =
     (fun k ->
       Buffer.add_string b
         (Printf.sprintf "%-14s %d\n" (kind_name k) (count t k)))
-    all_kinds;
+    legacy_kinds;
+  List.iter
+    (fun k ->
+      let n = count t k in
+      if n > 0 then
+        Buffer.add_string b (Printf.sprintf "%-14s %d\n" (kind_name k) n))
+    lifecycle_kinds;
   Buffer.add_string b (Printf.sprintf "recorded       %d\n" t.recorded);
   Buffer.add_string b (Printf.sprintf "retained       %d\n" (length t));
   Buffer.add_string b

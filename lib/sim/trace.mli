@@ -36,7 +36,11 @@
       phase (0 slow-start, 1 linear)
     - [Alpha_update]: link id, 0, fair-share estimate [alpha], 0
     - [Fault]: link id, flow id (-1 = none), fault code
-      (0 lose, 1 strip, 2 link-down, 3 link-up), 0 *)
+      (0 lose, 1 strip, 2 link-down, 3 link-up), 0
+    - [Flow_start]: flow id, ingress node id, weight, arrival size
+      (packets; 0 = open-ended)
+    - [Flow_end]: flow id, 0, packets sent, packets delivered
+    - [Flow_expire]: flow id, 0, idle seconds at expiry, 0 *)
 
 type kind =
   | Enqueue
@@ -51,6 +55,9 @@ type kind =
   | Rate_update
   | Alpha_update
   | Fault
+  | Flow_start
+  | Flow_end
+  | Flow_expire
 
 type t
 
@@ -60,8 +67,14 @@ type event = { time : float; kind : kind; a : int; b : int; x : float; y : float
 (** Stable lowercase name used in exports ("enqueue", "epoch", ...). *)
 val kind_name : kind -> string
 
-(** All twelve kinds, in export order. *)
+(** All kinds, in export order: the twelve historic kinds followed by
+    the flow-lifecycle kinds. *)
 val all_kinds : kind list
+
+(** The flow-lifecycle kinds ([Flow_start]/[Flow_end]/[Flow_expire]),
+    recorded only by dynamic (churn) deployments. {!digest} prints them
+    only when nonzero, so static-run digests match historic goldens. *)
+val lifecycle_kinds : kind list
 
 (** The sparse control-plane kinds (everything except the per-packet
     [Enqueue]/[Dequeue]/[Marker_attach]/[Marker_seen]) — the default

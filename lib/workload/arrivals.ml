@@ -1,0 +1,133 @@
+type kind =
+  | Elastic
+  | Onoff of { on_mean : float; off_mean : float; shape : float }
+
+type flow = {
+  id : int;
+  arrival : float;
+  size : int;
+  weight : float;
+  kind : kind;
+}
+
+type diurnal = { period : float; depth : float }
+
+type flash = { at : float; duration : float; boost : float }
+
+type profile = {
+  rate : float;
+  mean_size : float;
+  size_shape : float;
+  min_size : int;
+  weights : float array;
+  onoff_fraction : float;
+  on_mean : float;
+  off_mean : float;
+  onoff_shape : float;
+  diurnal : diurnal option;
+  flash : flash option;
+}
+
+let default =
+  {
+    rate = 0.5;
+    mean_size = 100.;
+    size_shape = 1.8;
+    min_size = 10;
+    (* lint: domain-ok -- read-only weight table, never written *)
+    weights = [| 1.; 1.; 2. |];
+    onoff_fraction = 0.25;
+    on_mean = 1.;
+    off_mean = 1.;
+    onoff_shape = 1.5;
+    diurnal = None;
+    flash = None;
+  }
+
+let check ~what cond = if not cond then invalid_arg ("Arrivals: " ^ what)
+
+let validate p =
+  check ~what:"rate must be positive and finite"
+    (Float.is_finite p.rate && p.rate > 0.);
+  check ~what:"mean_size must be at least 1" (Float.is_finite p.mean_size && p.mean_size >= 1.);
+  check ~what:"size_shape must exceed 1 (finite mean)"
+    (Float.is_finite p.size_shape && p.size_shape > 1.);
+  check ~what:"min_size must be positive" (p.min_size > 0);
+  check ~what:"weights must be nonempty" (Array.length p.weights > 0);
+  Array.iter
+    (fun w -> check ~what:"weights must be positive and finite" (Float.is_finite w && w > 0.))
+    p.weights;
+  check ~what:"onoff_fraction must lie in [0, 1]"
+    (p.onoff_fraction >= 0. && p.onoff_fraction <= 1.);
+  check ~what:"on_mean must be positive and finite"
+    (Float.is_finite p.on_mean && p.on_mean > 0.);
+  check ~what:"off_mean must be positive and finite"
+    (Float.is_finite p.off_mean && p.off_mean > 0.);
+  check ~what:"onoff_shape must exceed 1" (Float.is_finite p.onoff_shape && p.onoff_shape > 1.);
+  (match p.diurnal with
+  | None -> ()
+  | Some { period; depth } ->
+    check ~what:"diurnal period must be positive and finite"
+      (Float.is_finite period && period > 0.);
+    check ~what:"diurnal depth must lie in [0, 1)" (depth >= 0. && depth < 1.));
+  match p.flash with
+  | None -> ()
+  | Some { at; duration; boost } ->
+    check ~what:"flash start must be non-negative and finite"
+      (Float.is_finite at && at >= 0.);
+    check ~what:"flash duration must be positive and finite"
+      (Float.is_finite duration && duration > 0.);
+    check ~what:"flash boost must be at least 1" (Float.is_finite boost && boost >= 1.)
+
+(* Instantaneous arrival intensity: the base Poisson rate modulated by
+   the diurnal curve (a sinusoid of relative depth [depth]) and the
+   flash-crowd boost while inside its interval. *)
+let rate_at p t =
+  let diurnal =
+    match p.diurnal with
+    | None -> 1.
+    | Some { period; depth } -> 1. +. (depth *. sin (2. *. Float.pi *. t /. period))
+  in
+  let flash =
+    match p.flash with
+    | Some { at; duration; boost } when t >= at && t < at +. duration -> boost
+    | Some _ | None -> 1.
+  in
+  p.rate *. diurnal *. flash
+
+let peak_rate p =
+  let diurnal = match p.diurnal with None -> 1. | Some { depth; _ } -> 1. +. depth in
+  let flash = match p.flash with None -> 1. | Some { boost; _ } -> Float.max 1. boost in
+  p.rate *. diurnal *. flash
+
+(* Inhomogeneous Poisson arrivals by Lewis-Shedler thinning: candidate
+   events at the peak intensity, each kept with probability
+   rate(t)/peak. Every draw comes from the single (seed, label)-derived
+   scenario stream, consumed in arrival-time order, so the plan is a
+   pure function of (seed, label, profile, horizon) — byte-identical
+   wherever it is generated (serial or any pool worker). *)
+let generate ~seed ~label ~profile:p ~horizon ?(first_id = 1) () =
+  validate p;
+  check ~what:"horizon must be positive and finite"
+    (Float.is_finite horizon && horizon > 0.);
+  let rng = Sim.Rng.scenario ~seed ~id:label in
+  let peak = peak_rate p in
+  let rec go acc id t =
+    let t = t +. Sim.Rng.exponential rng ~mean:(1. /. peak) in
+    if t >= horizon then List.rev acc
+    else if not (Sim.Rng.bernoulli rng (rate_at p t /. peak)) then go acc id t
+    else begin
+      let drawn = Sim.Rng.pareto rng ~shape:p.size_shape ~mean:p.mean_size in
+      let size = Stdlib.max p.min_size (int_of_float (Float.round drawn)) in
+      let weight = p.weights.(Sim.Rng.int rng (Array.length p.weights)) in
+      let kind =
+        if Sim.Rng.bernoulli rng p.onoff_fraction then
+          Onoff { on_mean = p.on_mean; off_mean = p.off_mean; shape = p.onoff_shape }
+        else Elastic
+      in
+      go ({ id; arrival = t; size; weight; kind } :: acc) (id + 1) t
+    end
+  in
+  go [] first_id 0.
+
+let offered_load p = p.rate *. p.mean_size

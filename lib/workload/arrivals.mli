@@ -1,0 +1,89 @@
+(** Deterministic open-loop dynamic-workload generator.
+
+    Produces a flow-arrival plan — Poisson arrivals with heavy-tailed
+    (Pareto) sizes, a configurable fraction of on/off "video-like"
+    sources, an optional diurnal load curve and an optional flash-crowd
+    spike — as a {e pure value}: every random draw descends from the
+    single [(seed, label)]-derived {!Sim.Rng.scenario} stream, consumed
+    in arrival-time order, so the same [(seed, label, profile,
+    horizon)] always yields the same plan, whether generated serially
+    or on any pool worker. The churn battery replays one plan against
+    every scheme under test.
+
+    This module is the sanctioned home of arrival-process sampling:
+    lint rule L9 confines [exponential]/[pareto] draws to
+    [lib/workload] (waiver [churn-ok]). *)
+
+(** How a flow offers traffic while alive: always backlogged
+    ([Elastic]) or toggling between Pareto/exponential on and off
+    periods ([Onoff], the ns-2 video-like source driven through
+    {!Net.Onoff}). *)
+type kind =
+  | Elastic
+  | Onoff of { on_mean : float; off_mean : float; shape : float }
+
+type flow = {
+  id : int;
+  arrival : float;  (** seconds from run start *)
+  size : int;  (** packets to deliver; the flow ends when sent *)
+  weight : float;
+  kind : kind;
+}
+
+(** Sinusoidal intensity modulation: rate multiplied by
+    [1 + depth * sin (2 pi t / period)]. *)
+type diurnal = { period : float; depth : float }
+
+(** Flash crowd: intensity multiplied by [boost] on
+    [[at, at + duration)]. *)
+type flash = { at : float; duration : float; boost : float }
+
+type profile = {
+  rate : float;  (** base arrival intensity, flows per second *)
+  mean_size : float;  (** mean flow size, packets *)
+  size_shape : float;  (** Pareto tail index of sizes, > 1 *)
+  min_size : int;  (** sizes are clamped below by this *)
+  weights : float array;  (** each arrival draws its weight uniformly *)
+  onoff_fraction : float;  (** probability an arrival is [Onoff] *)
+  on_mean : float;
+  off_mean : float;
+  onoff_shape : float;  (** Pareto tail index of on/off periods *)
+  diurnal : diurnal option;
+  flash : flash option;
+}
+
+(** 0.5 flows/s, Pareto(1.8) sizes of mean 100 packets (min 10),
+    weights drawn from {1, 1, 2}, a quarter of flows on/off; no diurnal
+    curve, no flash crowd. *)
+val default : profile
+
+(** @raise Invalid_argument naming the first field out of range
+    (non-positive or non-finite rates, sizes or periods, tail indices
+    of at most 1, fractions outside [0, 1], diurnal depth outside
+    [0, 1), flash boost below 1, empty or non-positive weights). *)
+val validate : profile -> unit
+
+(** Instantaneous arrival intensity at time [t] (base rate times
+    diurnal and flash factors). *)
+val rate_at : profile -> float -> float
+
+(** Upper bound of {!rate_at} over all times — the thinning envelope. *)
+val peak_rate : profile -> float
+
+(** Mean offered load of the transient population, packets per second
+    ([rate * mean_size]) — the knob the battery uses to express "10%
+    churn" as a fraction of bottleneck capacity. *)
+val offered_load : profile -> float
+
+(** [generate ~seed ~label ~profile ~horizon ()] draws the plan on
+    [[0, horizon)], flows numbered from [first_id] (default 1) in
+    arrival order.
+    @raise Invalid_argument on an invalid profile or horizon. *)
+val generate :
+  seed:int ->
+  label:string ->
+  profile:profile ->
+  horizon:float ->
+  ?first_id:int ->
+  unit ->
+  flow list

@@ -19,6 +19,10 @@ type t = {
 val flow : t -> int -> Net.Flow.t
 (** @raise Not_found for an unknown flow id. *)
 
+(** The default link bandwidth (bits/s) every builder uses when
+    [bandwidth] is omitted — 4 Mbps, the paper's link speed. *)
+val default_bandwidth : float
+
 (** Capacities of every link, in packets/s, keyed by link id (input for
     the max-min reference solver). *)
 val link_capacities : t -> (int * float) list

@@ -27,3 +27,6 @@ module Tcp_direct = Tcp_direct
 module Multi_cloud = Multi_cloud
 module Scenario_file = Scenario_file
 module Csv = Csv
+module Arrivals = Arrivals
+module Adversary = Adversary
+module Churn = Churn

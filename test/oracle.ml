@@ -355,6 +355,105 @@ let test_pool_scenario_isolation () =
         true (String.equal s p))
     (List.combine serial pooled)
 
+(* ---- Oracle 7: churn flow lifecycle ---- *)
+
+(* A real churn run (Corelite under 10% transient churn, quick battery
+   settings) with the lifecycle kinds and edge feedback receipts
+   traced. Three properties:
+
+   - every Flow_start is matched by exactly one Flow_end or
+     Flow_expire (the drain ends whatever churn left running);
+   - the process-wide Sim.Invariant flow ledger balances across the
+     run: created = retired, nothing leaked;
+   - no feedback is attributed to a retired flow — once a flow's
+     Flow_end/Flow_expire appears in the event order, no later
+     Feedback_recv may name it (the edge's [running] guard drops
+     in-flight feedback toward retired state). *)
+let churn =
+  lazy
+    (let engine = Sim.Engine.create () in
+     Sim.Trace.apply (Sim.Engine.trace engine)
+       (Sim.Trace.spec ~capacity:(1 lsl 18)
+          ~kinds:
+            (Sim.Trace.Feedback_recv :: Sim.Trace.lifecycle_kinds)
+          ());
+     let created0 = Sim.Invariant.flows_created () in
+     let retired0 = Sim.Invariant.flows_retired () in
+     let point =
+       Workload.Churn.run_point ~engine ~quick:true
+         ~scheme:Workload.Churn.Corelite ~variant:Workload.Churn.Dynamic ()
+     in
+     let tr = Sim.Engine.trace engine in
+     Alcotest.(check int)
+       "ring did not wrap (dropped_events = 0)" 0
+       (Sim.Trace.dropped_events tr);
+     ( point,
+       Sim.Invariant.flows_created () - created0,
+       Sim.Invariant.flows_retired () - retired0,
+       Array.init (Sim.Trace.length tr) (Sim.Trace.get tr) ))
+
+let test_churn_lifecycle_balance () =
+  let point, _, _, events = Lazy.force churn in
+  let starts = Hashtbl.create 64 and ends = Hashtbl.create 64 in
+  let bump table id =
+    Hashtbl.replace table id (1 + Option.value ~default:0 (Hashtbl.find_opt table id))
+  in
+  Array.iter
+    (fun (e : Sim.Trace.event) ->
+      match e.Sim.Trace.kind with
+      | Sim.Trace.Flow_start -> bump starts e.Sim.Trace.a
+      | Sim.Trace.Flow_end | Sim.Trace.Flow_expire -> bump ends e.Sim.Trace.a
+      | _ -> ())
+    events;
+  Alcotest.(check int)
+    "one Flow_start per honest arrival" point.Workload.Churn.arrivals
+    (Hashtbl.length starts);
+  Hashtbl.iter
+    (fun id n ->
+      if n <> 1 then Alcotest.failf "flow %d started %d times" id n;
+      match Hashtbl.find_opt ends id with
+      | Some 1 -> ()
+      | Some n -> Alcotest.failf "flow %d retired %d times" id n
+      | None -> Alcotest.failf "flow %d started but never ended nor expired" id)
+    starts;
+  Hashtbl.iter
+    (fun id _ ->
+      if not (Hashtbl.mem starts id) then
+        Alcotest.failf "flow %d retired without a Flow_start" id)
+    ends
+
+let test_churn_ledger_balances () =
+  let point, created, retired, _ = Lazy.force churn in
+  Alcotest.(check int) "every arrival entered the ledger"
+    point.Workload.Churn.arrivals created;
+  Alcotest.(check int) "created = retired after the drain" created retired;
+  Alcotest.(check int) "no leaked edge state" 0 point.Workload.Churn.leaked
+
+let test_churn_no_feedback_after_retirement () =
+  let _, _, _, events = Lazy.force churn in
+  let retired = Hashtbl.create 64 in
+  let feedbacks = ref 0 in
+  Array.iter
+    (fun (e : Sim.Trace.event) ->
+      match e.Sim.Trace.kind with
+      | Sim.Trace.Flow_end | Sim.Trace.Flow_expire ->
+        Hashtbl.replace retired e.Sim.Trace.a e.Sim.Trace.time
+      | Sim.Trace.Feedback_recv -> (
+        incr feedbacks;
+        match Hashtbl.find_opt retired e.Sim.Trace.a with
+        | Some t_retired ->
+          Alcotest.failf
+            "feedback attributed to flow %d at t=%.3f after its retirement \
+             at t=%.3f"
+            e.Sim.Trace.a e.Sim.Trace.time t_retired
+        | None -> ())
+      | _ -> ())
+    events;
+  Alcotest.(check bool)
+    (Printf.sprintf "the run actually exercised feedback (%d receipts)"
+       !feedbacks)
+    true (!feedbacks > 100)
+
 let () =
   Alcotest.run "oracle"
     [
@@ -378,5 +477,14 @@ let () =
             `Slow test_serial_vs_pooled;
           Alcotest.test_case "pooled scenario traces are isolated" `Slow
             test_pool_scenario_isolation;
+        ] );
+      ( "churn-trace",
+        [
+          Alcotest.test_case "every flow-start matched by end or expiry"
+            `Slow test_churn_lifecycle_balance;
+          Alcotest.test_case "flow ledger balances, nothing leaks" `Slow
+            test_churn_ledger_balances;
+          Alcotest.test_case "no feedback attributed to a retired flow"
+            `Slow test_churn_no_feedback_after_retirement;
         ] );
     ]

@@ -198,6 +198,39 @@ let test_battery_serial_equals_pooled () =
     (Workload.Chaos.csv_of_points (List.map (fun j -> j.Workload.Pool.run ()) jobs))
     (Workload.Chaos.csv_of_points (Workload.Pool.map ~domains:2 jobs))
 
+(* ------------------------------------------------------------------ *)
+(* Chaos + churn composition *)
+
+(* A fault plan applied to a churn scenario must replay byte-
+   identically: the injector is installed before the first arrival is
+   scheduled, the plan's draws descend from (fault_seed, label) and the
+   workload's from (seed, label), never interleaved. The cmp currency
+   is the battery CSV, same as the churn bench. *)
+let test_churn_faults_replay () =
+  let csv fault_seed =
+    Workload.Churn.csv_of_points
+      [
+        Workload.Churn.run_point ~quick:true ~fault_seed
+          ~scheme:Workload.Churn.Corelite ~variant:Workload.Churn.Faulty ();
+      ]
+  in
+  Alcotest.(check string) "same fault seed replays" (csv 271828) (csv 271828);
+  Alcotest.(check bool) "different fault seed diverges" true
+    (csv 271828 <> csv 1)
+
+let test_churn_serial_equals_pooled () =
+  let jobs () =
+    List.map
+      (fun scheme ->
+        Workload.Churn.point_job ~quick:true ~scheme
+          ~variant:Workload.Churn.Faulty ())
+      [ Workload.Churn.Csfq; Workload.Churn.Drr ]
+  in
+  Alcotest.(check string) "churn+faults points"
+    (Workload.Churn.csv_of_points
+       (List.map (fun j -> j.Workload.Pool.run ()) (jobs ())))
+    (Workload.Churn.csv_of_points (Workload.Pool.map ~domains:2 (jobs ())))
+
 let () =
   Alcotest.run "chaos"
     [
@@ -227,5 +260,12 @@ let () =
           Alcotest.test_case "replay from seed" `Quick
             test_faulted_run_replays_from_seed;
           Alcotest.test_case "serial = pooled" `Slow test_battery_serial_equals_pooled;
+        ] );
+      ( "churn composition",
+        [
+          Alcotest.test_case "churn+faults replays from seed" `Slow
+            test_churn_faults_replay;
+          Alcotest.test_case "churn+faults serial = pooled" `Slow
+            test_churn_serial_equals_pooled;
         ] );
     ]

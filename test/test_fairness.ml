@@ -380,6 +380,121 @@ let test_utilization () =
     (Fairness.Metrics.utilization ~rates:[| 200.; 250. |] ~capacity:500.)
 
 (* Audit every runtime invariant (Sim.Invariant) in all suites. *)
+(* ------------------------------------------------------------------ *)
+(* Windowed fairness (churn extension) *)
+
+let series_of samples =
+  let ts = Sim.Timeseries.create ~name:"w" () in
+  List.iter (fun (t, v) -> Sim.Timeseries.add ts t v) samples;
+  ts
+
+let test_windowed_boundaries () =
+  let b = Fairness.Windowed.boundaries ~from:0. ~until:10. ~window:4. in
+  Alcotest.(check int) "three windows" 4 (Array.length b);
+  check_float "last boundary is until" 10. b.(3);
+  Alcotest.check_raises "zero window"
+    (Invalid_argument "Windowed: window must be positive and finite") (fun () ->
+      ignore (Fairness.Windowed.boundaries ~from:0. ~until:10. ~window:0.));
+  Alcotest.check_raises "empty span"
+    (Invalid_argument "Windowed: need finite until > from") (fun () ->
+      ignore (Fairness.Windowed.boundaries ~from:5. ~until:5. ~window:1.))
+
+let test_windowed_throughput_known () =
+  (* 10 pkt/s for 4 s, silence for 4 s, 20 pkt/s for 2 s. *)
+  let ts = series_of [ (0., 0.); (4., 40.); (8., 40.); (10., 80.) ] in
+  let tp = Fairness.Windowed.throughput ts ~from:0. ~until:10. ~window:4. in
+  Alcotest.(check int) "three windows" 3 (Array.length tp);
+  check_float "first window rate" 10. (snd tp.(0));
+  check_float "silent window rate" 0. (snd tp.(1));
+  check_float "partial window rate" 20. (snd tp.(2))
+
+let test_windowed_mean_jain_identical_flows () =
+  let flow rate weight =
+    (weight, series_of (List.init 11 (fun i -> (float_of_int i, rate *. float_of_int i))))
+  in
+  (* Rates proportional to weights: perfectly weighted-fair. *)
+  let flows = [ flow 10. 1.; flow 20. 2.; flow 30. 3. ] in
+  check_float "weighted fair is 1" 1.
+    (Fairness.Windowed.mean_jain ~flows ~from:0. ~until:10. ~window:2.)
+
+let test_windowed_bandwidth_profile_exposes_burst () =
+  (* 1 s bursts of 100 pkts every 4 s: average 25 pkt/s, 1 s peak 100. *)
+  let samples =
+    List.concat_map
+      (fun i ->
+        let t = 4. *. float_of_int i in
+        [ (t, 100. *. float_of_int i); (t +. 1., 100. *. float_of_int (i + 1)) ])
+      [ 0; 1; 2; 3 ]
+  in
+  let ts = series_of samples in
+  let profile =
+    Fairness.Windowed.bandwidth_profile ts ~from:0. ~until:16. ~timescales:[ 1.; 16. ]
+  in
+  let peak scale = List.assoc scale profile in
+  check_float "short timescale sees the burst" 100. (peak 1.);
+  check_float "long timescale sees the average" 25. (peak 16.)
+
+(* Random cumulative series: monotone samples at 1-second ticks. *)
+let cumulative_gen =
+  QCheck.Gen.(
+    let* increments = list_size (2 -- 40) (float_range 0. 50.) in
+    return
+      (List.rev
+         (snd
+            (List.fold_left
+               (fun (total, acc) d ->
+                 let total = total +. d in
+                 let t = float_of_int (List.length acc) in
+                 (total, (t, total) :: acc))
+               (0., []) increments))))
+
+let windowed_instance =
+  QCheck.Gen.(
+    let* flows = list_size (1 -- 6) (pair (float_range 0.5 4.) cumulative_gen) in
+    let* window = float_range 0.5 7. in
+    return (flows, window))
+
+let prop_windowed_sums_equal_totals =
+  QCheck.Test.make
+    ~name:"windowed throughputs telescope: window sums equal the totals"
+    ~count:300
+    (QCheck.make windowed_instance)
+    (fun (flows, window) ->
+      let until =
+        List.fold_left
+          (fun acc (_, samples) -> Float.max acc (fst (List.hd (List.rev samples))))
+          1. flows
+      in
+      List.for_all
+        (fun (_, samples) ->
+          let ts = series_of samples in
+          let tp = Fairness.Windowed.throughput ts ~from:0. ~until ~window in
+          let boundaries = Fairness.Windowed.boundaries ~from:0. ~until ~window in
+          let summed = ref 0. in
+          Array.iteri
+            (fun i (_, rate) ->
+              summed := !summed +. (rate *. (boundaries.(i + 1) -. boundaries.(i))))
+            tp;
+          let at t = Option.value ~default:0. (Sim.Timeseries.value_at ts t) in
+          let total = at until -. at 0. in
+          Float.abs (!summed -. total) <= 1e-6 *. Float.max 1. total)
+        flows)
+
+let prop_windowed_jain_in_unit_interval =
+  QCheck.Test.make ~name:"windowed Jain lies in (0, 1]" ~count:300
+    (QCheck.make windowed_instance)
+    (fun (flows, window) ->
+      let until =
+        List.fold_left
+          (fun acc (_, samples) -> Float.max acc (fst (List.hd (List.rev samples))))
+          1. flows
+      in
+      let flows = List.map (fun (w, samples) -> (w, series_of samples)) flows in
+      let mean = Fairness.Windowed.mean_jain ~flows ~from:0. ~until ~window in
+      let series = Fairness.Windowed.jain_series ~flows ~from:0. ~until ~window in
+      mean > 0. && mean <= 1. +. 1e-9
+      && Array.for_all (fun (_, j, _) -> j > 0. && j <= 1. +. 1e-9) series)
+
 let () = Sim.Invariant.set_default true
 
 let () =
@@ -422,5 +537,17 @@ let () =
           Alcotest.test_case "convergence time" `Quick test_convergence_time;
           Alcotest.test_case "convergence needs hold" `Quick test_convergence_needs_hold;
           Alcotest.test_case "utilization" `Quick test_utilization;
+        ] );
+      ( "windowed",
+        [
+          Alcotest.test_case "boundaries" `Quick test_windowed_boundaries;
+          Alcotest.test_case "throughput known values" `Quick
+            test_windowed_throughput_known;
+          Alcotest.test_case "weighted fair flows" `Quick
+            test_windowed_mean_jain_identical_flows;
+          Alcotest.test_case "bandwidth profile" `Quick
+            test_windowed_bandwidth_profile_exposes_burst;
+          qt prop_windowed_sums_equal_totals;
+          qt prop_windowed_jain_in_unit_interval;
         ] );
     ]

@@ -301,6 +301,47 @@ let test_l8_waiver () =
   check_rules "waived writer" [] vs
 
 (* ------------------------------------------------------------------ *)
+(* L9: arrival-process sampling confined to lib/workload *)
+
+let test_l9_flags_samplers_outside_workload () =
+  let vs =
+    lint_one "lib/net/mysource.ml"
+      "let gap rng = Sim.Rng.exponential rng ~mean:2.\n\
+       let size rng = Rng.pareto rng ~shape:1.8 ~mean:100.\n"
+  in
+  check_rules "samplers in lib/net" [ Lint.L9_arrival; Lint.L9_arrival ] vs;
+  let vs =
+    lint_one "lib/corelite/myedge.ml"
+      "let jitter t = Sim.Rng.exponential t.rng ~mean:0.1\n"
+  in
+  check_rules "sampler in lib/corelite" [ Lint.L9_arrival ] vs
+
+let test_l9_allows_workload_rng_and_outside_lib () =
+  (* lib/workload is the sanctioned generator home... *)
+  let vs =
+    lint_one "lib/workload/myarrivals.ml"
+      "let gap rng peak = Sim.Rng.exponential rng ~mean:(1. /. peak)\n"
+  in
+  check_rules "lib/workload owns the samplers" [] vs;
+  (* ...lib/sim/rng.ml defines them, and non-lib code (tests probing
+     sampler statistics, experiment drivers) is out of scope. *)
+  let vs =
+    lint_one "lib/sim/rng.ml" "let exponential t ~mean = -. mean *. log 0.5\n" in
+  check_rules "definition site allowlisted" [] vs;
+  let vs =
+    lint_one "test/probe.ml" "let x rng = Sim.Rng.pareto rng ~shape:2. ~mean:1.\n"
+  in
+  check_rules "tests out of scope" [] vs
+
+let test_l9_waiver () =
+  let vs =
+    lint_one "lib/net/myonoff.ml"
+      "(* lint: churn-ok -- hold times of an already-arrived source *)\n\
+       let hold rng = Sim.Rng.exponential rng ~mean:1.\n"
+  in
+  check_rules "waived consumer" [] vs
+
+(* ------------------------------------------------------------------ *)
 (* Parse errors and the directory walker *)
 
 let test_parse_error_reported () =
@@ -462,6 +503,14 @@ let () =
           Alcotest.test_case "allows formatters + executables" `Quick
             test_l8_allows_formatters_and_executables;
           Alcotest.test_case "waiver" `Quick test_l8_waiver;
+        ] );
+      ( "l9_arrival",
+        [
+          Alcotest.test_case "flags samplers outside workload" `Quick
+            test_l9_flags_samplers_outside_workload;
+          Alcotest.test_case "allows workload + rng + non-lib" `Quick
+            test_l9_allows_workload_rng_and_outside_lib;
+          Alcotest.test_case "waiver" `Quick test_l9_waiver;
         ] );
       ( "driver",
         [

@@ -989,6 +989,42 @@ let test_source_rejects_bad_recovery_params () =
     (mk
        { Net.Source.default_params with Net.Source.silence_epochs = 3; restore = Float.nan })
 
+(* One regression per validated boundary: non-positive (or non-finite)
+   rates and periods must raise instead of silently producing a nan
+   pacing schedule. *)
+let test_source_rejects_bad_params () =
+  let engine = Sim.Engine.create () in
+  let rejects descr msg params =
+    Alcotest.check_raises descr (Invalid_argument ("Source.create: " ^ msg))
+      (fun () ->
+        ignore
+          (Net.Source.create ~engine ~params
+             ~emit:(fun ~now:_ ~rate:_ -> ())
+             ~collect:no_feedback ()))
+  in
+  let d = Net.Source.default_params in
+  rejects "zero initial_rate" "initial_rate must be positive"
+    { d with Net.Source.initial_rate = 0. };
+  rejects "nan initial_rate" "initial_rate must be positive"
+    { d with Net.Source.initial_rate = Float.nan };
+  rejects "negative epoch" "epoch must be positive"
+    { d with Net.Source.epoch = -0.5 };
+  rejects "nan epoch" "epoch must be positive"
+    { d with Net.Source.epoch = Float.nan };
+  rejects "zero alpha" "alpha must be positive" { d with Net.Source.alpha = 0. };
+  rejects "negative beta" "beta must be positive"
+    { d with Net.Source.beta = -1. };
+  rejects "zero ss_thresh" "ss_thresh must be positive"
+    { d with Net.Source.ss_thresh = 0. };
+  rejects "infinite ss_period" "ss_period must be positive"
+    { d with Net.Source.ss_period = Float.infinity };
+  rejects "negative min_rate" "min_rate must be non-negative"
+    { d with Net.Source.min_rate = -0.5 };
+  rejects "negative floor" "floor must be non-negative"
+    { d with Net.Source.floor = -1. };
+  rejects "nan floor" "floor must be non-negative"
+    { d with Net.Source.floor = Float.nan }
+
 let test_source_rejects_bad_offset () =
   let engine = Sim.Engine.create () in
   Alcotest.check_raises "offset >= epoch"
@@ -1177,6 +1213,7 @@ let () =
           Alcotest.test_case "silence recovery" `Quick test_source_silence_recovery;
           Alcotest.test_case "bad recovery params" `Quick
             test_source_rejects_bad_recovery_params;
+          Alcotest.test_case "bad params" `Quick test_source_rejects_bad_params;
           Alcotest.test_case "bad offset" `Quick test_source_rejects_bad_offset;
           Alcotest.test_case "epoch offset" `Quick test_source_epoch_offset_shifts_adaptation;
         ] );

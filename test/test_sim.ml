@@ -593,6 +593,61 @@ let prop_rng_sibling_streams_disjoint =
       List.iter (fun x -> Hashtbl.replace seen x ()) da;
       not (List.exists (Hashtbl.mem seen) db))
 
+(* Sampler properties (churn extension): the arrival process leans on
+   exactly these three guarantees — calibrated means, replay across
+   [split], and the advertised tail index. *)
+let prop_sampler_means_converge =
+  QCheck.Test.make
+    ~name:"exponential and Pareto sample means converge to ~mean" ~count:20
+    QCheck.(pair small_nat (float_range 0.2 5.))
+    (fun (seed, mean) ->
+      let n = 20_000 in
+      let avg draw =
+        let r = Sim.Rng.create seed in
+        let sum = ref 0. in
+        for _ = 1 to n do
+          sum := !sum +. draw r
+        done;
+        !sum /. float_of_int n
+      in
+      let exp_mean = avg (fun r -> Sim.Rng.exponential r ~mean) in
+      (* Shape 2.5 keeps the variance finite, so 20k draws settle well
+         inside 15%; lighter tolerances would flake on heavy tails. *)
+      let par_mean = avg (fun r -> Sim.Rng.pareto r ~shape:2.5 ~mean) in
+      Float.abs (exp_mean -. mean) <= 0.1 *. mean
+      && Float.abs (par_mean -. mean) <= 0.15 *. mean)
+
+let prop_sampler_split_determinism =
+  QCheck.Test.make
+    ~name:"sampler draws replay identically across Rng.split" ~count:100
+    QCheck.(pair small_nat (float_range 0.5 3.))
+    (fun (seed, mean) ->
+      let stream () =
+        let child = Sim.Rng.split (Sim.Rng.create seed) in
+        List.init 100 (fun i ->
+            if i mod 2 = 0 then Sim.Rng.exponential child ~mean
+            else Sim.Rng.pareto child ~shape:1.8 ~mean)
+      in
+      stream () = stream ())
+
+let prop_pareto_tail_index =
+  QCheck.Test.make
+    ~name:"Pareto empirical tail index matches the requested shape"
+    ~count:15
+    QCheck.(pair small_nat (float_range 1.5 3.))
+    (fun (seed, shape) ->
+      let n = 50_000 and mean = 1. and c = 4. in
+      let scale = mean *. (shape -. 1.) /. shape in
+      let r = Sim.Rng.create seed in
+      let exceed = ref 0 in
+      for _ = 1 to n do
+        if Sim.Rng.pareto r ~shape ~mean > c *. scale then incr exceed
+      done;
+      (* Survival at [c] times the scale is exactly [c ** -shape];
+         inverting the empirical fraction recovers the tail index. *)
+      let frac = float_of_int !exceed /. float_of_int n in
+      frac > 0. && Float.abs ((-.log frac /. log c) -. shape) <= 0.2)
+
 let test_rng_int_bounds () =
   let r = Sim.Rng.create 99 in
   for _ = 1 to 10_000 do
@@ -1155,6 +1210,9 @@ let () =
           Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli;
           Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
           Alcotest.test_case "pareto" `Quick test_rng_pareto;
+          qt prop_sampler_means_converge;
+          qt prop_sampler_split_determinism;
+          qt prop_pareto_tail_index;
           Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
         ] );
       ( "stats",

@@ -226,10 +226,24 @@ let test_onoff_pareto_distribution () =
 
 let test_onoff_validation () =
   let engine = Sim.Engine.create () in
-  Alcotest.check_raises "bad mean" (Invalid_argument "Onoff.start: means must be positive")
-    (fun () ->
+  let bad_means descr ~on_mean ~off_mean =
+    Alcotest.check_raises descr
+      (Invalid_argument "Onoff.start: means must be positive") (fun () ->
+        ignore
+          (Net.Onoff.start ~engine ~rng:(Sim.Rng.create 1) ~on_mean ~off_mean
+             (fun _ -> ())))
+  in
+  bad_means "zero on_mean" ~on_mean:0. ~off_mean:1.;
+  bad_means "negative off_mean" ~on_mean:1. ~off_mean:(-1.);
+  (* A nan mean passes a bare [<= 0.] check and would schedule the next
+     flip at a nan timestamp. *)
+  bad_means "nan on_mean" ~on_mean:Float.nan ~off_mean:1.;
+  bad_means "infinite off_mean" ~on_mean:1. ~off_mean:Float.infinity;
+  Alcotest.check_raises "nan Pareto shape"
+    (Invalid_argument "Onoff.start: Pareto shape must exceed 1") (fun () ->
       ignore
-        (Net.Onoff.start ~engine ~rng:(Sim.Rng.create 1) ~on_mean:0. ~off_mean:1.
+        (Net.Onoff.start ~engine ~rng:(Sim.Rng.create 1)
+           ~distribution:(Net.Onoff.Pareto Float.nan) ~on_mean:1. ~off_mean:1.
            (fun _ -> ())))
 
 (* ------------------------------------------------------------------ *)

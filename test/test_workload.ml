@@ -629,6 +629,158 @@ let test_csv_of_metrics_roundtrip () =
   | rows ->
     Alcotest.failf "expected header + 2 rows, got %d" (List.length rows)
 
+(* ------------------------------------------------------------------ *)
+(* Arrivals: the churn battery's open-loop workload generator *)
+
+let churn_profile =
+  {
+    Workload.Arrivals.default with
+    Workload.Arrivals.rate = 1.;
+    diurnal = Some { Workload.Arrivals.period = 40.; depth = 0.5 };
+    flash = Some { Workload.Arrivals.at = 5.; duration = 2.; boost = 4. };
+  }
+
+let plan_fingerprint flows =
+  String.concat ";"
+    (List.map
+       (fun (f : Workload.Arrivals.flow) ->
+         Printf.sprintf "%d@%.17g:%d:%g:%s" f.Workload.Arrivals.id
+           f.Workload.Arrivals.arrival f.Workload.Arrivals.size
+           f.Workload.Arrivals.weight
+           (match f.Workload.Arrivals.kind with
+           | Workload.Arrivals.Elastic -> "e"
+           | Workload.Arrivals.Onoff _ -> "o"))
+       flows)
+
+let test_arrivals_deterministic () =
+  let plan ?(seed = 42) ?(label = "churn") () =
+    plan_fingerprint
+      (Workload.Arrivals.generate ~seed ~label ~profile:churn_profile ~horizon:60. ())
+  in
+  Alcotest.(check string) "same (seed, label) replays" (plan ()) (plan ());
+  Alcotest.(check bool) "seed perturbs the plan" true (plan () <> plan ~seed:43 ());
+  Alcotest.(check bool) "label perturbs the plan" true
+    (plan () <> plan ~label:"other" ())
+
+let test_arrivals_plan_shape () =
+  let flows =
+    Workload.Arrivals.generate ~seed:42 ~label:"shape" ~profile:churn_profile
+      ~horizon:120. ~first_id:10 ()
+  in
+  Alcotest.(check bool) "a 2-minute plan at ~1/s is non-trivial" true
+    (List.length flows > 30);
+  List.iteri
+    (fun i (f : Workload.Arrivals.flow) ->
+      Alcotest.(check int) "ids consecutive from first_id" (10 + i)
+        f.Workload.Arrivals.id;
+      if f.Workload.Arrivals.arrival < 0. || f.Workload.Arrivals.arrival >= 120. then
+        Alcotest.failf "arrival %g outside [0, horizon)" f.Workload.Arrivals.arrival;
+      Alcotest.(check bool) "size clamped" true
+        (f.Workload.Arrivals.size >= churn_profile.Workload.Arrivals.min_size);
+      Alcotest.(check bool) "weight from the profile set" true
+        (Array.exists
+           (fun w -> w = f.Workload.Arrivals.weight)
+           churn_profile.Workload.Arrivals.weights))
+    flows;
+  let sorted = List.sort compare (List.map (fun f -> f.Workload.Arrivals.arrival) flows) in
+  Alcotest.(check (list (float 0.))) "arrival order"
+    (List.map (fun f -> f.Workload.Arrivals.arrival) flows)
+    sorted
+
+let test_arrivals_validate_boundaries () =
+  let rejects what mutate =
+    Alcotest.check_raises what (Invalid_argument ("Arrivals: " ^ what)) (fun () ->
+        Workload.Arrivals.validate (mutate Workload.Arrivals.default))
+  in
+  rejects "rate must be positive and finite" (fun p ->
+      { p with Workload.Arrivals.rate = 0. });
+  rejects "mean_size must be at least 1" (fun p ->
+      { p with Workload.Arrivals.mean_size = Float.nan });
+  rejects "size_shape must exceed 1 (finite mean)" (fun p ->
+      { p with Workload.Arrivals.size_shape = 1. });
+  rejects "min_size must be positive" (fun p ->
+      { p with Workload.Arrivals.min_size = 0 });
+  rejects "weights must be nonempty" (fun p ->
+      { p with Workload.Arrivals.weights = [||] });
+  rejects "weights must be positive and finite" (fun p ->
+      { p with Workload.Arrivals.weights = [| 1.; -2. |] });
+  rejects "onoff_fraction must lie in [0, 1]" (fun p ->
+      { p with Workload.Arrivals.onoff_fraction = 1.5 });
+  rejects "diurnal depth must lie in [0, 1)" (fun p ->
+      {
+        p with
+        Workload.Arrivals.diurnal = Some { Workload.Arrivals.period = 10.; depth = 1. };
+      });
+  rejects "flash boost must be at least 1" (fun p ->
+      {
+        p with
+        Workload.Arrivals.flash =
+          Some { Workload.Arrivals.at = 0.; duration = 1.; boost = 0.5 };
+      });
+  Alcotest.check_raises "horizon"
+    (Invalid_argument "Arrivals: horizon must be positive and finite") (fun () ->
+      ignore
+        (Workload.Arrivals.generate ~seed:1 ~label:"x"
+           ~profile:Workload.Arrivals.default ~horizon:0. ()))
+
+let test_arrivals_rate_at () =
+  (* Sinusoid peaks a quarter period in (sin = 1), troughs at three
+     quarters; the flash multiplies inside [at, at + duration) only. *)
+  check_float "diurnal peak" 1.5 (Workload.Arrivals.rate_at churn_profile 10.);
+  check_float "diurnal trough" 0.5 (Workload.Arrivals.rate_at churn_profile 30.);
+  check_float "flash boost at t=6 (sin small)"
+    (4. *. (1. +. (0.5 *. sin (2. *. Float.pi *. 6. /. 40.))))
+    (Workload.Arrivals.rate_at churn_profile 6.);
+  check_float "flash over at t=7"
+    (1. +. (0.5 *. sin (2. *. Float.pi *. 7. /. 40.)))
+    (Workload.Arrivals.rate_at churn_profile 7.);
+  check_float "thinning envelope" 6. (Workload.Arrivals.peak_rate churn_profile);
+  check_float "offered load = rate * mean_size"
+    (1. *. Workload.Arrivals.default.Workload.Arrivals.mean_size)
+    (Workload.Arrivals.offered_load churn_profile)
+
+(* ------------------------------------------------------------------ *)
+(* Adversary: the CLEF-style heavy hitter *)
+
+let adversary_network () =
+  let engine = Sim.Engine.create () in
+  (engine, Workload.Network.single_bottleneck ~engine ~weights:(fun _ -> 1.) 1)
+
+let test_adversary_attach_validation () =
+  let _, network = adversary_network () in
+  let rejects what msg ~peak ~duty ~period =
+    Alcotest.check_raises what (Invalid_argument ("Adversary.attach: " ^ msg))
+      (fun () ->
+        ignore (Workload.Adversary.attach ~network ~flow:1 ~peak ~duty ~period ()))
+  in
+  rejects "zero peak" "peak must be positive" ~peak:0. ~duty:0.2 ~period:2.;
+  rejects "nan peak" "peak must be positive" ~peak:Float.nan ~duty:0.2 ~period:2.;
+  rejects "zero duty" "duty must lie in (0, 1]" ~peak:100. ~duty:0. ~period:2.;
+  rejects "duty above 1" "duty must lie in (0, 1]" ~peak:100. ~duty:1.5 ~period:2.;
+  rejects "negative period" "period must be positive" ~peak:100. ~duty:0.5 ~period:(-1.);
+  rejects "infinite period" "period must be positive" ~peak:100. ~duty:0.5
+    ~period:Float.infinity
+
+let test_adversary_bursts_below_average () =
+  let engine, network = adversary_network () in
+  let adv =
+    Workload.Adversary.attach ~network ~flow:1 ~peak:400. ~duty:0.25 ~period:2. ()
+  in
+  check_float "average = peak * duty" 100. (Workload.Adversary.average_rate adv);
+  check_float "peak accessor" 400. (Workload.Adversary.peak_rate adv);
+  Sim.Engine.run_until engine 20.;
+  Workload.Adversary.stop adv;
+  let sent_while_on = Workload.Adversary.sent adv in
+  Alcotest.(check bool)
+    (Printf.sprintf "sent ~avg * horizon (%d)" sent_while_on)
+    true
+    (sent_while_on > 1600 && sent_while_on < 2400);
+  Alcotest.(check bool) "uncongested path delivers" true
+    (Workload.Adversary.delivered adv > 0);
+  Sim.Engine.run_until engine 25.;
+  Alcotest.(check int) "silent after stop" sent_while_on
+    (Workload.Adversary.sent adv)
+
 (* Audit every runtime invariant (Sim.Invariant) in all suites. *)
 let () = Sim.Invariant.set_default true
 
@@ -689,6 +841,21 @@ let () =
           Alcotest.test_case "summary stats" `Quick test_replicate_summary_stats;
           Alcotest.test_case "single run" `Quick test_replicate_single_run;
           Alcotest.test_case "figure stable" `Slow test_replicate_figure_stable;
+        ] );
+      ( "arrivals",
+        [
+          Alcotest.test_case "deterministic from (seed, label)" `Quick
+            test_arrivals_deterministic;
+          Alcotest.test_case "plan shape" `Quick test_arrivals_plan_shape;
+          Alcotest.test_case "validate boundaries" `Quick
+            test_arrivals_validate_boundaries;
+          Alcotest.test_case "rate_at diurnal and flash" `Quick test_arrivals_rate_at;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "attach validation" `Quick test_adversary_attach_validation;
+          Alcotest.test_case "bursts under a smooth average" `Quick
+            test_adversary_bursts_below_average;
         ] );
       ( "csv",
         [

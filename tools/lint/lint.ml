@@ -14,6 +14,7 @@ type rule =
   | L6_hot_queue
   | L7_fault_inject
   | L8_telemetry
+  | L9_arrival
   | Parse_error
 
 let rule_name = function
@@ -25,6 +26,7 @@ let rule_name = function
   | L6_hot_queue -> "L6/hot-queue"
   | L7_fault_inject -> "L7/fault-inject"
   | L8_telemetry -> "L8/telemetry"
+  | L9_arrival -> "L9/arrival-sampling"
   | Parse_error -> "parse-error"
 
 let waiver_token = function
@@ -36,6 +38,7 @@ let waiver_token = function
   | L6_hot_queue -> Some "queue-ok"
   | L7_fault_inject -> Some "fault-ok"
   | L8_telemetry -> Some "trace-ok"
+  | L9_arrival -> Some "churn-ok"
   | Parse_error -> None
 
 type violation = {
@@ -89,6 +92,17 @@ let in_fault_path path = fault_components (path_components path)
 let fault_allowlisted path =
   String.ends_with ~suffix:"lib/net/fault.ml" path
   || String.ends_with ~suffix:"lib/net/fault.mli" path
+
+(* The sanctioned home of arrival-process sampling: rule L9 confines
+   exponential/pareto draws to lib/workload (Workload.Arrivals) so
+   every churn plan is a pure (seed, label) value that replays
+   byte-identically wherever it is generated. *)
+let rec workload_components = function
+  | "lib" :: "workload" :: _ -> true
+  | _ :: rest -> workload_components rest
+  | [] -> false
+
+let in_workload path = workload_components (path_components path)
 
 (* ------------------------------------------------------------------ *)
 (* Rule predicates over flattened identifier paths *)
@@ -194,6 +208,21 @@ let l7_banned_ident path =
        inject faults through a Sim.Faultplan or waive with fault-ok"
   | _ -> None
 
+(* Arrival-process sampling outside the sanctioned generator. Matching
+   the trailing [exponential]/[pareto] component (Sim.Rng.exponential,
+   Rng.pareto, a local rebinding) is deliberately blunt, like L7: the
+   one legitimate out-of-home consumer (Net.Onoff's period draws,
+   driven by a plan Workload.Arrivals produced) carries [lint:
+   churn-ok] waivers stating what it is. *)
+let l9_banned_ident path =
+  match List.rev path with
+  | ("exponential" | "pareto") :: _ ->
+    Some
+      "arrival-process sampling (exponential/pareto draws) is confined to \
+       lib/workload (Workload.Arrivals); generate the plan there or waive \
+       with churn-ok"
+  | _ -> None
+
 (* A bare [exit] is only a violation when it is actually called —
    [exit] is also a perfectly good variable name (e.g. a flow's exit
    core), and without type information an identifier-position ban
@@ -253,6 +282,7 @@ type ctx = {
   lib_scope : bool;
   hot_scope : bool;
   fault_scope : bool;
+  arrival_scope : bool;
   rng_allowlisted : bool;
   pool_allowlisted : bool;
   mutable found : violation list;
@@ -294,9 +324,13 @@ let check_ident ctx (loc : Location.t) path =
      match l6_banned_ident path with
      | Some msg -> add ctx L6_hot_queue loc msg
      | None -> ());
-  if ctx.fault_scope then
-    match l7_banned_ident path with
-    | Some msg -> add ctx L7_fault_inject loc msg
+  (if ctx.fault_scope then
+     match l7_banned_ident path with
+     | Some msg -> add ctx L7_fault_inject loc msg
+     | None -> ());
+  if ctx.arrival_scope then
+    match l9_banned_ident path with
+    | Some msg -> add ctx L9_arrival loc msg
     | None -> ()
 
 let is_hashtbl_create = function
@@ -422,6 +456,8 @@ let lint_file path =
         lib_scope = in_lib path;
         hot_scope = in_hot_path path;
         fault_scope = in_fault_path path && not (fault_allowlisted path);
+        arrival_scope =
+          in_lib path && (not (in_workload path)) && not (l1_allowlisted path);
         rng_allowlisted = l1_allowlisted path;
         pool_allowlisted = pool_allowlisted path;
         found = [];

@@ -53,6 +53,13 @@
       serial ones. [Format.fprintf] to a caller-supplied formatter
       stays legal (that is how [pp] functions work). The historical
       [Workload.Csv.write_*] helpers carry [lint: trace-ok] waivers.
+    - {b L9 arrival sampling}: [exponential] and [pareto] draws are
+      banned inside [lib/] outside [lib/workload] — arrival-process
+      sampling belongs to [Workload.Arrivals], whose plans are pure
+      [(seed, label)] values consumed in arrival-time order, so churn
+      scenarios replay byte-identically serial or pooled. The one
+      out-of-home consumer ([Net.Onoff]'s period draws, driven by a
+      plan the generator produced) carries [lint: churn-ok] waivers.
 
     A violation on line [n] is waived when line [n] or [n - 1] carries
     a comment containing [lint: <token>] with the rule's waiver token
@@ -68,6 +75,7 @@ type rule =
   | L6_hot_queue
   | L7_fault_inject
   | L8_telemetry
+  | L9_arrival
   | Parse_error  (** a file that does not parse; never waivable *)
 
 (** Short machine-readable identifier, e.g. ["L1/determinism"]. *)
