@@ -4,10 +4,11 @@ let spec ?(floor = 0.) flow = { flow; floor }
 
 type t = {
   topology : Net.Topology.t;
-  agents : (int, Edge.t) Hashtbl.t;
+  agents : Edge.t Net.Flowtable.t;
   cores : Core.t list;
   core_links : Net.Link.t list;
-  drops_by_flow : (int, int) Hashtbl.t;
+  is_core : bool array;  (* link id -> policed by a core *)
+  drops_by_flow : Net.Flowtable.Count.t;
   (* The feedback control plane reads [agents] and [delays] through the
      per-core [send_feedback] closures, so flows added after wiring
      (churn) become reachable by mutating these two tables; [params] and
@@ -17,34 +18,52 @@ type t = {
   rng : Sim.Rng.t;
 }
 
+let core_membership core_links =
+  let top = List.fold_left (fun acc l -> Stdlib.max acc l.Net.Link.id) (-1) core_links in
+  let is_core = Array.make (top + 1) false in
+  List.iter (fun l -> is_core.(l.Net.Link.id) <- true) core_links;
+  is_core
+
+(* Feedback latency per (core link, flow): one walk down the flow's own
+   path accumulates upstream delay — O(path length), not
+   O(core links), which is what keeps churn affordable on generated
+   topologies with tens of thousands of policed links. *)
+let register_delays ~topology ~is_core ~delays flow =
+  let acc = ref 0. in
+  List.iter
+    (fun link ->
+      let lid = link.Net.Link.id in
+      if lid < Array.length is_core && is_core.(lid) then
+        Hashtbl.replace delays (lid, flow.Net.Flow.id) !acc;
+      acc := !acc +. link.Net.Link.delay)
+    (Net.Flow.links flow topology)
+
+let unregister_delays ~topology ~is_core ~delays flow =
+  List.iter
+    (fun link ->
+      let lid = link.Net.Link.id in
+      if lid < Array.length is_core && is_core.(lid) then
+        Hashtbl.remove delays (lid, flow.Net.Flow.id))
+    (Net.Flow.links flow topology)
+
 (* Wire core-router logic for a set of pre-built agents: feedback
    selected at a core link travels back to the generating edge with the
    reverse-path propagation delay, then lands in the flow's agent. *)
-let of_agents ?fault ~params ~rng ~topology ~agents ~core_links () =
-  (* Feedback latency per (link, flow), precomputed from the paths. *)
+let of_table ?fault ~params ~rng ~topology ~agents ~core_links () =
+  let is_core = core_membership core_links in
   let delays : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun _ agent ->
-      let flow = Edge.flow agent in
-      List.iter
-        (fun link ->
-          match Net.Flow.upstream_delay flow topology link with
-          | Some d -> Hashtbl.replace delays (link.Net.Link.id, flow.Net.Flow.id) d
-          | None -> ())
-        core_links)
-    agents;
+  Net.Flowtable.iter agents (fun _ agent ->
+      register_delays ~topology ~is_core ~delays (Edge.flow agent));
   let engine = Net.Topology.engine topology in
   (* Corelite edges do not react to losses (feedback markers carry the
      signal), but per-flow loss accounting is an evaluation metric. *)
-  let drops_by_flow : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let drops_by_flow = Net.Flowtable.Count.create () in
   List.iter
     (fun link ->
       link.Net.Link.on_drop <-
         Some
           (fun _reason pkt ->
-            let flow = pkt.Net.Packet.flow in
-            Hashtbl.replace drops_by_flow flow
-              (1 + Option.value ~default:0 (Hashtbl.find_opt drops_by_flow flow))))
+            Net.Flowtable.Count.incr drops_by_flow pkt.Net.Packet.flow))
     core_links;
   let cores =
     List.map
@@ -62,7 +81,7 @@ let of_agents ?fault ~params ~rng ~topology ~agents ~core_links () =
           in
           if not lost then
             let flow_id = marker.Net.Packet.flow_id in
-            match Hashtbl.find_opt agents flow_id with
+            match Net.Flowtable.find agents flow_id with
             | None -> ()
             | Some agent ->
               let delay =
@@ -76,31 +95,35 @@ let of_agents ?fault ~params ~rng ~topology ~agents ~core_links () =
         Core.attach ~params ~rng:(Sim.Rng.split rng) ~send_feedback link)
       core_links
   in
-  { topology; agents; cores; core_links; drops_by_flow; delays; params; rng }
+  { topology; agents; cores; core_links; is_core; drops_by_flow; delays; params; rng }
+
+let of_agents ?fault ~params ~rng ~topology ~agents ~core_links () =
+  let table = Net.Flowtable.create () in
+  Hashtbl.iter (fun id agent -> Net.Flowtable.set table id agent) agents;
+  of_table ?fault ~params ~rng ~topology ~agents:table ~core_links ()
 
 let build ?fault ~params ~rng ~topology ~flows ~core_links () =
-  let agents = Hashtbl.create 32 in
+  let agents = Net.Flowtable.create () in
   let epoch = params.Params.source.Net.Source.epoch in
   List.iter
     (fun { flow; floor } ->
       let id = flow.Net.Flow.id in
-      if Hashtbl.mem agents id then
+      if Net.Flowtable.mem agents id then
         invalid_arg (Printf.sprintf "Deployment.build: duplicate flow %d" id);
       (* Edge routers are not clock-synchronized: give each agent a
          random timer phase so adaptation steps do not align. *)
       let epoch_offset = Sim.Rng.float rng epoch in
-      Hashtbl.add agents id (Edge.create ~params ~topology ~flow ~floor ~epoch_offset ()))
+      Net.Flowtable.add agents id
+        (Edge.create ~params ~topology ~flow ~floor ~epoch_offset ()))
     flows;
-  of_agents ?fault ~params ~rng ~topology ~agents ~core_links ()
+  of_table ?fault ~params ~rng ~topology ~agents ~core_links ()
 
 let agent t id =
-  match Hashtbl.find_opt t.agents id with
+  match Net.Flowtable.find t.agents id with
   | Some a -> a
   | None -> raise Not_found
 
-let agents t =
-  Hashtbl.fold (fun id a acc -> (id, a) :: acc) t.agents []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+let agents t = List.rev (Net.Flowtable.fold t.agents (fun id a acc -> (id, a) :: acc) [])
 
 let cores t = t.cores
 
@@ -110,7 +133,7 @@ let start_flow t id = Edge.start (agent t id)
 
 let stop_flow t id = Edge.stop (agent t id)
 
-let start_all t = List.iter (fun (_, a) -> Edge.start a) (agents t)
+let start_all t = Net.Flowtable.iter t.agents (fun _ a -> Edge.start a)
 
 (* Dynamic flow lifecycle (churn). The paper's soft-state story: edges
    create per-flow state when a flow first appears and age it out when
@@ -120,24 +143,19 @@ let start_all t = List.iter (fun (_, a) -> Edge.start a) (agents t)
    transition is declared to the [Sim.Invariant] flow ledger and traced
    so churn oracles can prove the flow table never leaks. *)
 
-let has_flow t id = Hashtbl.mem t.agents id
+let has_flow t id = Net.Flowtable.mem t.agents id
 
-let live_flows t = Hashtbl.length t.agents
+let live_flows t = Net.Flowtable.live t.agents
 
 let add_flow t ?(floor = 0.) ?(size = 0) flow =
   let id = flow.Net.Flow.id in
-  if Hashtbl.mem t.agents id then
+  if Net.Flowtable.mem t.agents id then
     invalid_arg (Printf.sprintf "Deployment.add_flow: duplicate flow %d" id);
   let epoch = t.params.Params.source.Net.Source.epoch in
   let epoch_offset = Sim.Rng.float t.rng epoch in
   let agent = Edge.create ~params:t.params ~topology:t.topology ~flow ~floor ~epoch_offset () in
-  Hashtbl.add t.agents id agent;
-  List.iter
-    (fun link ->
-      match Net.Flow.upstream_delay flow t.topology link with
-      | Some d -> Hashtbl.replace t.delays (link.Net.Link.id, id) d
-      | None -> ())
-    t.core_links;
+  Net.Flowtable.add t.agents id agent;
+  register_delays ~topology:t.topology ~is_core:t.is_core ~delays:t.delays flow;
   Sim.Invariant.note_flow_created ();
   let engine = Net.Topology.engine t.topology in
   let trace = Sim.Engine.trace engine in
@@ -157,10 +175,9 @@ let add_flow t ?(floor = 0.) ?(size = 0) flow =
    after its end or expiry event. *)
 let retire t id agent ~kind ~idle =
   Edge.stop agent;
-  Hashtbl.remove t.agents id;
-  List.iter
-    (fun link -> Hashtbl.remove t.delays (link.Net.Link.id, id))
-    t.core_links;
+  Net.Flowtable.remove t.agents id;
+  unregister_delays ~topology:t.topology ~is_core:t.is_core ~delays:t.delays
+    (Edge.flow agent);
   let engine = Net.Topology.engine t.topology in
   let trace = Sim.Engine.trace engine in
   match kind with
@@ -178,7 +195,7 @@ let retire t id agent ~kind ~idle =
         ~a:id ~b:0 ~x:idle ~y:0.
 
 let end_flow t id =
-  match Hashtbl.find_opt t.agents id with
+  match Net.Flowtable.find t.agents id with
   | None -> invalid_arg (Printf.sprintf "Deployment.end_flow: unknown flow %d" id)
   | Some agent -> retire t id agent ~kind:`End ~idle:0.
 
@@ -186,15 +203,15 @@ let expire_idle t ~timeout =
   if timeout <= 0. then
     invalid_arg "Deployment.expire_idle: timeout must be positive";
   let now = Sim.Engine.now (Net.Topology.engine t.topology) in
+  (* Flowtable iteration is already in ascending flow-id order, so
+     expiry events replay byte-identically with no sort step. *)
   let stale =
-    Hashtbl.fold
-      (fun id agent acc ->
-        let idle = now -. Edge.last_activity agent in
-        if idle >= timeout then (id, agent, idle) :: acc else acc)
-      t.agents []
-    (* Sorted so expiry events appear in flow-id order regardless of
-       hash-bucket iteration order: replay byte-determinism. *)
-    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+    List.rev
+      (Net.Flowtable.fold t.agents
+         (fun id agent acc ->
+           let idle = now -. Edge.last_activity agent in
+           if idle >= timeout then (id, agent, idle) :: acc else acc)
+         [])
   in
   List.iter (fun (id, agent, idle) -> retire t id agent ~kind:`Expire ~idle) stale;
   List.length stale
@@ -205,7 +222,7 @@ let total_feedback t =
 let total_drops t =
   List.fold_left (fun acc link -> acc + link.Net.Link.drops) 0 t.core_links
 
-let drops_of_flow t id = Option.value ~default:0 (Hashtbl.find_opt t.drops_by_flow id)
+let drops_of_flow t id = Net.Flowtable.Count.get t.drops_by_flow id
 
 (* Router resets are scheme state, so the deployment (not Net.Fault)
    interprets them: a core reset loses both the router's packet buffers
@@ -232,7 +249,7 @@ let schedule_resets t plan =
               Net.Link.reset (Core.link core);
               Core.reset core)
         | Sim.Faultplan.Edge_agent id -> (
-          match Hashtbl.find_opt t.agents id with
+          match Net.Flowtable.find t.agents id with
           | None ->
             invalid_arg
               (Printf.sprintf "Deployment.schedule_resets: no agent for flow %d" id)

@@ -17,6 +17,10 @@ type t = {
   supply : (unit -> Net.Packet.t option) option;
   deliver : (Net.Packet.t -> unit) option;
   mutable source : Net.Source.t option;  (* set once in [create] *)
+  (* Destination host index on FIB-routed (generated) topologies,
+     stamped into every emitted packet; -1 on per-flow-routed paths,
+     where packets keep using the route/sink tables. *)
+  dst_host : int;
   marker_spacing : int;
   feedback_by_link : (int, int) Hashtbl.t;  (* core link id -> markers this epoch *)
   mutable data_since_marker : int;
@@ -70,8 +74,11 @@ let[@corelite.hot] emit t ~now ~rate =
     match t.supply with
     | None ->
       t.next_packet_id <- t.next_packet_id + 1;
-      Some (* lint: alloc-ok -- fresh packet per emission until the packet pool *)
-        (Net.Packet.make ~id:t.next_packet_id ~flow:t.flow.Net.Flow.id ~created:now ())
+      (* lint: alloc-ok -- fresh packet per emission until the packet pool *)
+      Some
+        (Net.Packet.make ~id:t.next_packet_id ~flow:t.flow.Net.Flow.id
+           (* lint: alloc-ok -- same finding, end-line anchor *)
+           ~dst:t.dst_host ~created:now ())
     | Some take -> take ()
   in
   match pkt with
@@ -111,6 +118,7 @@ let create ~params ~topology ~flow ?(floor = 0.) ?(epoch_offset = 0.) ?supply
       supply;
       deliver;
       source = None;
+      dst_host = (Net.Flow.egress flow).Net.Node.host;
       marker_spacing = Params.marker_spacing params ~weight:flow.Net.Flow.weight;
       feedback_by_link = Hashtbl.create 4;
       data_since_marker = 0;
@@ -155,8 +163,13 @@ let start t =
     Sim.Stats.Quantile.add t.delay_p99 delay;
     match t.deliver with Some consume -> consume pkt | None -> ()
   in
-  Net.Topology.install_path t.topology ~flow:t.flow.Net.Flow.id t.flow.Net.Flow.path
-    ~sink;
+  (* FIB-routed topologies need no per-node route entries — only the
+     flow's delivery callback in the topology-wide sink table. *)
+  if t.dst_host >= 0 then
+    Net.Topology.set_flow_sink t.topology ~flow:t.flow.Net.Flow.id sink
+  else
+    Net.Topology.install_path t.topology ~flow:t.flow.Net.Flow.id
+      t.flow.Net.Flow.path ~sink;
   t.data_since_marker <- 0;
   Hashtbl.reset t.feedback_by_link;
   Net.Source.start (source t)

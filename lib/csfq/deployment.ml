@@ -4,10 +4,11 @@ let spec ?(floor = 0.) flow = { flow; floor }
 
 type t = {
   topology : Net.Topology.t;
-  agents : (int, Edge.t) Hashtbl.t;
+  agents : Edge.t Net.Flowtable.t;
   cores : Core.t list;
   core_links : Net.Link.t list;
-  drops_by_flow : (int, int) Hashtbl.t;
+  is_core : bool array;  (* link id -> policed *)
+  drops_by_flow : Net.Flowtable.Count.t;
   (* The per-link [on_drop] closures read [agents] and [delays], so
      flows added after wiring (churn) become reachable by mutating
      these tables; [params] and [rng] build mid-run agents the same way
@@ -17,30 +18,52 @@ type t = {
   rng : Sim.Rng.t;
 }
 
+let core_membership core_links =
+  let top = List.fold_left (fun acc l -> Stdlib.max acc l.Net.Link.id) (-1) core_links in
+  let is_core = Array.make (top + 1) false in
+  List.iter (fun l -> is_core.(l.Net.Link.id) <- true) core_links;
+  is_core
+
+(* One walk down the flow's own path — O(path length), not
+   O(core links); see Corelite.Deployment. *)
+let register_delays ~topology ~is_core ~delays flow =
+  let acc = ref 0. in
+  List.iter
+    (fun link ->
+      let lid = link.Net.Link.id in
+      if lid < Array.length is_core && is_core.(lid) then
+        Hashtbl.replace delays (lid, flow.Net.Flow.id) !acc;
+      acc := !acc +. link.Net.Link.delay)
+    (Net.Flow.links flow topology)
+
+let unregister_delays ~topology ~is_core ~delays flow =
+  List.iter
+    (fun link ->
+      let lid = link.Net.Link.id in
+      if lid < Array.length is_core && is_core.(lid) then
+        Hashtbl.remove delays (lid, flow.Net.Flow.id))
+    (Net.Flow.links flow topology)
+
 let build ?(attach_cores = true) ~params ~rng ~topology ~flows ~core_links () =
-  let agents = Hashtbl.create 32 in
+  let agents = Net.Flowtable.create () in
   let epoch = params.Params.source.Net.Source.epoch in
   List.iter
     (fun { flow; floor } ->
       let id = flow.Net.Flow.id in
-      if Hashtbl.mem agents id then
+      if Net.Flowtable.mem agents id then
         invalid_arg (Printf.sprintf "Csfq.Deployment.build: duplicate flow %d" id);
       (* Same timer desynchronization as the Corelite deployment. *)
       let epoch_offset = Sim.Rng.float rng epoch in
-      Hashtbl.add agents id (Edge.create ~params ~topology ~flow ~floor ~epoch_offset ()))
+      Net.Flowtable.add agents id
+        (Edge.create ~params ~topology ~flow ~floor ~epoch_offset ()))
     flows;
+  let is_core = core_membership core_links in
   let delays : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
   List.iter
-    (fun { flow; _ } ->
-      List.iter
-        (fun link ->
-          match Net.Flow.upstream_delay flow topology link with
-          | Some d -> Hashtbl.replace delays (link.Net.Link.id, flow.Net.Flow.id) d
-          | None -> ())
-        core_links)
+    (fun { flow; _ } -> register_delays ~topology ~is_core ~delays flow)
     flows;
   let engine = Net.Topology.engine topology in
-  let drops_by_flow : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let drops_by_flow = Net.Flowtable.Count.create () in
   let cores =
     List.filter_map
       (fun link ->
@@ -58,35 +81,32 @@ let build ?(attach_cores = true) ~params ~rng ~topology ~flows ~core_links () =
           Some
             (fun reason pkt ->
               let flow = pkt.Net.Packet.flow in
-              Hashtbl.replace drops_by_flow flow
-                (1 + Option.value ~default:0 (Hashtbl.find_opt drops_by_flow flow));
+              Net.Flowtable.Count.incr drops_by_flow flow;
               (match (reason, core) with
               | Net.Link.Queue_full, Some core -> Core.note_overflow core
               | ( ( Net.Link.Queue_full | Net.Link.Filtered | Net.Link.Injected
                   | Net.Link.Down ),
                   _ ) -> ());
-              match Hashtbl.find_opt agents pkt.Net.Packet.flow with
+              match Net.Flowtable.find agents flow with
               | None -> ()
               | Some agent ->
                 let delay =
                   Option.value ~default:0.
-                    (Hashtbl.find_opt delays (link.Net.Link.id, pkt.Net.Packet.flow))
+                    (Hashtbl.find_opt delays (link.Net.Link.id, flow))
                 in
                 ignore
                   (Sim.Engine.schedule engine ~delay (fun () -> Edge.note_loss agent)));
         core)
       core_links
   in
-  { topology; agents; cores; core_links; drops_by_flow; delays; params; rng }
+  { topology; agents; cores; core_links; is_core; drops_by_flow; delays; params; rng }
 
 let agent t id =
-  match Hashtbl.find_opt t.agents id with
+  match Net.Flowtable.find t.agents id with
   | Some a -> a
   | None -> raise Not_found
 
-let agents t =
-  Hashtbl.fold (fun id a acc -> (id, a) :: acc) t.agents []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+let agents t = List.rev (Net.Flowtable.fold t.agents (fun id a acc -> (id, a) :: acc) [])
 
 let cores t = t.cores
 
@@ -94,7 +114,7 @@ let start_flow t id = Edge.start (agent t id)
 
 let stop_flow t id = Edge.stop (agent t id)
 
-let start_all t = List.iter (fun (_, a) -> Edge.start a) (agents t)
+let start_all t = Net.Flowtable.iter t.agents (fun _ a -> Edge.start a)
 
 (* Dynamic flow lifecycle (churn) — same contract as
    Corelite.Deployment: per-flow edge state is created on arrival and
@@ -102,24 +122,19 @@ let start_all t = List.iter (fun (_, a) -> Edge.start a) (agents t)
    [Sim.Invariant] flow ledger and traced, and loss notifications
    toward a retired agent vanish in [Edge.note_loss]'s [running] guard. *)
 
-let has_flow t id = Hashtbl.mem t.agents id
+let has_flow t id = Net.Flowtable.mem t.agents id
 
-let live_flows t = Hashtbl.length t.agents
+let live_flows t = Net.Flowtable.live t.agents
 
 let add_flow t ?(floor = 0.) ?(size = 0) flow =
   let id = flow.Net.Flow.id in
-  if Hashtbl.mem t.agents id then
+  if Net.Flowtable.mem t.agents id then
     invalid_arg (Printf.sprintf "Csfq.Deployment.add_flow: duplicate flow %d" id);
   let epoch = t.params.Params.source.Net.Source.epoch in
   let epoch_offset = Sim.Rng.float t.rng epoch in
   let agent = Edge.create ~params:t.params ~topology:t.topology ~flow ~floor ~epoch_offset () in
-  Hashtbl.add t.agents id agent;
-  List.iter
-    (fun link ->
-      match Net.Flow.upstream_delay flow t.topology link with
-      | Some d -> Hashtbl.replace t.delays (link.Net.Link.id, id) d
-      | None -> ())
-    t.core_links;
+  Net.Flowtable.add t.agents id agent;
+  register_delays ~topology:t.topology ~is_core:t.is_core ~delays:t.delays flow;
   Sim.Invariant.note_flow_created ();
   let engine = Net.Topology.engine t.topology in
   let trace = Sim.Engine.trace engine in
@@ -133,10 +148,9 @@ let add_flow t ?(floor = 0.) ?(size = 0) flow =
 
 let retire t id agent ~kind ~idle =
   Edge.stop agent;
-  Hashtbl.remove t.agents id;
-  List.iter
-    (fun link -> Hashtbl.remove t.delays (link.Net.Link.id, id))
-    t.core_links;
+  Net.Flowtable.remove t.agents id;
+  unregister_delays ~topology:t.topology ~is_core:t.is_core ~delays:t.delays
+    (Edge.flow agent);
   let engine = Net.Topology.engine t.topology in
   let trace = Sim.Engine.trace engine in
   match kind with
@@ -154,7 +168,7 @@ let retire t id agent ~kind ~idle =
         ~a:id ~b:0 ~x:idle ~y:0.
 
 let end_flow t id =
-  match Hashtbl.find_opt t.agents id with
+  match Net.Flowtable.find t.agents id with
   | None ->
     invalid_arg (Printf.sprintf "Csfq.Deployment.end_flow: unknown flow %d" id)
   | Some agent -> retire t id agent ~kind:`End ~idle:0.
@@ -163,13 +177,14 @@ let expire_idle t ~timeout =
   if timeout <= 0. then
     invalid_arg "Csfq.Deployment.expire_idle: timeout must be positive";
   let now = Sim.Engine.now (Net.Topology.engine t.topology) in
+  (* Flowtable iteration is ascending flow-id order already. *)
   let stale =
-    Hashtbl.fold
-      (fun id agent acc ->
-        let idle = now -. Edge.last_activity agent in
-        if idle >= timeout then (id, agent, idle) :: acc else acc)
-      t.agents []
-    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+    List.rev
+      (Net.Flowtable.fold t.agents
+         (fun id agent acc ->
+           let idle = now -. Edge.last_activity agent in
+           if idle >= timeout then (id, agent, idle) :: acc else acc)
+         [])
   in
   List.iter (fun (id, agent, idle) -> retire t id agent ~kind:`Expire ~idle) stale;
   List.length stale
@@ -177,4 +192,4 @@ let expire_idle t ~timeout =
 let total_drops t =
   List.fold_left (fun acc link -> acc + link.Net.Link.drops) 0 t.core_links
 
-let drops_of_flow t id = Option.value ~default:0 (Hashtbl.find_opt t.drops_by_flow id)
+let drops_of_flow t id = Net.Flowtable.Count.get t.drops_by_flow id

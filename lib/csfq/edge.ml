@@ -7,6 +7,9 @@ type t = {
   flow : Net.Flow.t;
   trace : Sim.Trace.t;
   mutable source : Net.Source.t option;  (* set once in [create] *)
+  (* Destination host index on FIB-routed (generated) topologies; -1 on
+     per-flow-routed paths (mirrors Corelite.Edge). *)
+  dst_host : int;
   estimator : Rate_estimator.t;
   mutable pending_losses : int;
   mutable next_packet_id : int;
@@ -51,7 +54,8 @@ let emit t ~now ~rate:_ =
   t.current_label <- estimated /. t.flow.Net.Flow.weight;
   t.next_packet_id <- t.next_packet_id + 1;
   let pkt =
-    Net.Packet.make ~id:t.next_packet_id ~flow:t.flow.Net.Flow.id ~created:now ()
+    Net.Packet.make ~id:t.next_packet_id ~flow:t.flow.Net.Flow.id ~dst:t.dst_host
+      ~created:now ()
   in
   pkt.Net.Packet.label <- t.current_label;
   t.sent <- t.sent + 1;
@@ -67,6 +71,7 @@ let create ~params ~topology ~flow ?(floor = 0.) ?(epoch_offset = 0.) () =
       flow;
       trace = Sim.Engine.trace engine;
       source = None;
+      dst_host = (Net.Flow.egress flow).Net.Node.host;
       estimator = Rate_estimator.create ~k:params.Params.k_flow;
       pending_losses = 0;
       next_packet_id = 0;
@@ -105,8 +110,11 @@ let start t =
     Sim.Stats.Welford.add t.delay delay;
     Sim.Stats.Quantile.add t.delay_p99 delay
   in
-  Net.Topology.install_path t.topology ~flow:t.flow.Net.Flow.id t.flow.Net.Flow.path
-    ~sink;
+  if t.dst_host >= 0 then
+    Net.Topology.set_flow_sink t.topology ~flow:t.flow.Net.Flow.id sink
+  else
+    Net.Topology.install_path t.topology ~flow:t.flow.Net.Flow.id
+      t.flow.Net.Flow.path ~sink;
   t.pending_losses <- 0;
   Net.Source.start (source t)
 

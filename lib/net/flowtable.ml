@@ -1,0 +1,98 @@
+(* Dense flow-id-indexed tables: the flat-array replacement for the
+   per-flow Hashtbls on the deployments' control path. Flow ids are
+   small dense integers (the generators hand them out sequentially from
+   1), so an option array beats hashing on both lookup cost and memory,
+   and iteration is naturally in ascending id order — the order the
+   replay-determinism contract requires (no sort step, no bucket
+   order). Slots are per-instance state; growth doubles. *)
+
+type 'a t = { mutable slots : 'a option array; mutable live : int }
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Flowtable.create: capacity must be positive";
+  { slots = Array.make capacity None; live = 0 }
+
+let ensure t id =
+  let n = Array.length t.slots in
+  if id >= n then begin
+    let n' = ref (2 * n) in
+    while id >= !n' do
+      n' := 2 * !n'
+    done;
+    let grown = Array.make !n' None in
+    Array.blit t.slots 0 grown 0 n;
+    t.slots <- grown
+  end
+
+let check_id id = if id < 0 then invalid_arg "Flowtable: negative flow id"
+
+let mem t id = id >= 0 && id < Array.length t.slots && Option.is_some t.slots.(id)
+
+let set t id v =
+  check_id id;
+  ensure t id;
+  if Option.is_none t.slots.(id) then t.live <- t.live + 1;
+  t.slots.(id) <- Some v
+
+let add t id v =
+  check_id id;
+  if mem t id then
+    invalid_arg (Printf.sprintf "Flowtable.add: duplicate flow %d" id);
+  set t id v
+
+(* Allocation-free on the hit path: returns the stored option. *)
+let find t id =
+  if id < 0 || id >= Array.length t.slots then None else t.slots.(id)
+
+let remove t id =
+  if mem t id then begin
+    t.slots.(id) <- None;
+    t.live <- t.live - 1
+  end
+
+let live t = t.live
+
+let capacity t = Array.length t.slots
+
+(* Ascending flow-id order — deterministic by construction. *)
+let iter t f =
+  Array.iteri (fun id slot -> match slot with Some v -> f id v | None -> ()) t.slots
+
+let fold t f acc =
+  let acc = ref acc in
+  iter t (fun id v -> acc := f id v !acc);
+  !acc
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.live <- 0
+
+(* Flat per-flow counters (drop accounting): zero-default, growth on
+   demand, reads never allocate. *)
+module Count = struct
+  type t = { mutable counts : int array }
+
+  let create ?(capacity = 64) () =
+    if capacity < 1 then invalid_arg "Flowtable.Count.create: capacity must be positive";
+    { counts = Array.make capacity 0 }
+
+  let ensure t id =
+    let n = Array.length t.counts in
+    if id >= n then begin
+      let n' = ref (2 * n) in
+      while id >= !n' do
+        n' := 2 * !n'
+      done;
+      let grown = Array.make !n' 0 in
+      Array.blit t.counts 0 grown 0 n;
+      t.counts <- grown
+    end
+
+  let incr t id =
+    if id < 0 then invalid_arg "Flowtable.Count.incr: negative flow id";
+    ensure t id;
+    t.counts.(id) <- t.counts.(id) + 1
+
+  let get t id =
+    if id < 0 || id >= Array.length t.counts then 0 else t.counts.(id)
+end

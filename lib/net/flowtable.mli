@@ -1,0 +1,59 @@
+(** Dense flow-id-indexed tables — the flat-array replacement for
+    per-flow Hashtbls.
+
+    Flow ids are small dense integers handed out sequentially, so a
+    growable option array gives O(1) unhashed lookup and — crucially
+    for replay determinism — iteration in ascending flow-id order with
+    no sort step. {!find} returns the stored option and allocates
+    nothing. Tables are per-instance state (safe under
+    {!Workload.Pool}). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Initial capacity defaults to 64 slots; the table doubles on demand.
+    @raise Invalid_argument on a non-positive capacity. *)
+
+(** [set t id v] inserts or replaces. Grows as needed.
+    @raise Invalid_argument on a negative id. *)
+val set : 'a t -> int -> 'a -> unit
+
+(** Like {!set} but
+    @raise Invalid_argument if [id] is already live. *)
+val add : 'a t -> int -> 'a -> unit
+
+(** Allocation-free lookup (returns the stored option). *)
+val find : 'a t -> int -> 'a option
+
+(** Absent ids are a no-op. *)
+val remove : 'a t -> int -> unit
+
+val mem : 'a t -> int -> bool
+
+(** Number of live entries. *)
+val live : 'a t -> int
+
+(** Current slot capacity (for the growth tests). *)
+val capacity : 'a t -> int
+
+(** Iterate live entries in ascending flow-id order. *)
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+
+val fold : 'a t -> (int -> 'a -> 'b -> 'b) -> 'b -> 'b
+
+(** Empty every slot (capacity retained). *)
+val clear : 'a t -> unit
+
+(** Flat per-flow event counters (drop accounting): zero-default,
+    growth on demand, reads never allocate. *)
+module Count : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+
+  val incr : t -> int -> unit
+  (** @raise Invalid_argument on a negative id. *)
+
+  (** 0 for ids never incremented. *)
+  val get : t -> int -> int
+end

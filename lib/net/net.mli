@@ -49,3 +49,7 @@ module Tcp = Tcp
 
 (** Per-link observation: queue/throughput/drop series. *)
 module Probe = Probe
+
+(** Dense flow-id-indexed tables: the flat-array replacement for
+    per-flow Hashtbls on deployment control paths. *)
+module Flowtable = Flowtable

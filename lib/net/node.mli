@@ -1,10 +1,18 @@
 (** Network nodes (edge routers, core routers).
 
-    Forwarding is per-flow static routing: every node on a flow's path
-    holds a route entry mapping the flow id to an output link, and the
-    egress node holds a sink callback that consumes delivered packets.
-    Core routers never consult per-flow QoS state — the route table is
-    the standard forwarding function the paper assumes. *)
+    Two forwarding planes coexist:
+
+    - {e per-flow static routing} (the paper's figure topologies):
+      every node on a flow's path holds a route entry mapping the flow
+      id to an output link, and the egress node holds a sink callback;
+    - {e destination-indexed FIB forwarding} (generated scale
+      topologies): packets carry a destination host index
+      ({!Packet.dst} [>= 0]) and nodes forward through a flat
+      per-destination link array shared by all flows — core routers
+      hold no per-flow state no matter how many flows cross them.
+
+    A packet with [dst = -1] always takes the per-flow plane, so
+    hand-built topologies are byte-for-byte unaffected by the FIB. *)
 
 type kind = Edge | Core
 
@@ -14,6 +22,12 @@ type t = {
   kind : kind;
   routes : (int, Link.t) Hashtbl.t;  (** flow id -> output link *)
   sinks : (int, Packet.t -> unit) Hashtbl.t;  (** flow id -> egress consumer *)
+  mutable fib : Link.t option array;
+      (** destination host index -> output link; [[||]] when the node
+          is not FIB-routed *)
+  mutable host : int;  (** own host index; [-1] for non-hosts *)
+  mutable host_sink : Packet.t -> unit;
+      (** consumes FIB-routed packets addressed to this host *)
 }
 
 val create : id:int -> name:string -> kind:kind -> t
@@ -22,8 +36,16 @@ val set_route : t -> flow:int -> Link.t -> unit
 
 val set_sink : t -> flow:int -> (Packet.t -> unit) -> unit
 
-(** Forward a packet: route entry if present, else sink entry.
-    @raise Failure if the node knows nothing about the packet's flow. *)
+(** [set_fib t ~host ~fib ~host_sink] installs the destination-indexed
+    forwarding state: the node's own host index ([-1] for switches),
+    its per-destination link array, and — for hosts — the local
+    delivery callback. *)
+val set_fib :
+  t -> host:int -> fib:Link.t option array -> host_sink:(Packet.t -> unit) option -> unit
+
+(** Forward a packet: FIB plane when [Packet.dst >= 0], else route
+    entry if present, else sink entry.
+    @raise Failure if the node knows nothing about the packet. *)
 val receive : t -> Packet.t -> unit
 
 val is_edge : t -> bool

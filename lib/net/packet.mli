@@ -22,6 +22,8 @@ type t = {
   micro : int;  (** end-to-end micro-flow id within an edge-to-edge
                     aggregate; 0 when the flow is not an aggregate *)
   size : int;  (** bytes *)
+  dst : int;  (** destination host index for FIB-routed (generated)
+                  topologies; [-1] on per-flow-routed paths *)
   created : float;  (** injection time at the ingress edge *)
   mutable marker : marker option;
   mutable label : float;  (** CSFQ label; negative when unlabelled *)
@@ -35,6 +37,7 @@ val make :
   flow:int ->
   ?micro:int ->
   ?size:int ->
+  ?dst:int ->
   ?marker:marker ->
   created:float ->
   unit ->

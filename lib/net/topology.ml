@@ -6,6 +6,11 @@ type t = {
   link_index : (int * int, Link.t) Hashtbl.t;
   mutable next_node_id : int;
   mutable next_link_id : int;
+  (* Flat flow-id-indexed delivery table for FIB-routed (generated)
+     topologies: host nodes dispatch arrived packets through here, so
+     egress delivery is one array read instead of per-node sink
+     Hashtbls. Hand-built topologies never touch it. *)
+  mutable flow_sinks : (Packet.t -> unit) option array;
 }
 
 let create engine =
@@ -17,6 +22,7 @@ let create engine =
     link_index = Hashtbl.create 16;
     next_node_id = 0;
     next_link_id = 0;
+    flow_sinks = [||];
   }
 
 let engine t = t.engine
@@ -83,6 +89,32 @@ let install_path t ~flow path ~sink =
   match List.rev path with
   | last :: _ -> Node.set_sink last ~flow sink
   | [] -> invalid_arg "Topology.install_path: empty path"
+
+let set_flow_sink t ~flow sink =
+  if flow < 0 then invalid_arg "Topology.set_flow_sink: negative flow id";
+  let n = Array.length t.flow_sinks in
+  if flow >= n then begin
+    let n' = ref (Stdlib.max 64 (2 * n)) in
+    while flow >= !n' do
+      n' := 2 * !n'
+    done;
+    let grown = Array.make !n' None in
+    Array.blit t.flow_sinks 0 grown 0 n;
+    t.flow_sinks <- grown
+  end;
+  t.flow_sinks.(flow) <- Some sink
+
+let[@corelite.hot] deliver_to_sink t pkt =
+  let flow = pkt.Packet.flow in
+  let sinks = t.flow_sinks in
+  if flow >= 0 && flow < Array.length sinks then
+    match Array.unsafe_get sinks flow with
+    | Some consume -> consume pkt
+    | None ->
+      failwith (Printf.sprintf "Topology: no sink installed for flow %d" flow)
+  else failwith (Printf.sprintf "Topology: no sink installed for flow %d" flow)
+
+let sink_dispatcher t = fun pkt -> deliver_to_sink t pkt
 
 let uninstall_flow _t ~flow path =
   List.iter

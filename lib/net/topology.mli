@@ -45,3 +45,22 @@ val install_path : t -> flow:int -> Node.t list -> sink:(Packet.t -> unit) -> un
 (** Remove the routing and sink state of a flow (used when a flow leaves
     the network). *)
 val uninstall_flow : t -> flow:int -> Node.t list -> unit
+
+(** {1 FIB-routed delivery (generated topologies)}
+
+    On generated scale topologies packets carry a destination host
+    index and are forwarded by per-node FIB arrays ({!Node.set_fib});
+    egress delivery goes through one topology-wide flow-id-indexed sink
+    table instead of per-node sink Hashtbls. Sinks stay installed on
+    flow retirement so in-flight packets still deliver (the same
+    contract as {!install_path} routes). *)
+
+(** [set_flow_sink t ~flow sink] installs (or replaces) the delivery
+    callback for a flow. The table grows on demand.
+    @raise Invalid_argument on a negative flow id. *)
+val set_flow_sink : t -> flow:int -> (Packet.t -> unit) -> unit
+
+(** One shared closure delivering a packet to its flow's registered
+    sink — what builders install as every host node's [host_sink].
+    @raise Failure for a flow with no sink installed. *)
+val sink_dispatcher : t -> Packet.t -> unit

@@ -21,16 +21,21 @@ type instrument =
 
 type entry = { help : string; inst : instrument }
 
-type t = { mutable on : bool; tbl : (string, entry) Hashtbl.t }
+type t = { mutable on : bool; mutable auto : bool; tbl : (string, entry) Hashtbl.t }
 
-let create () = { on = false; tbl = Hashtbl.create 64 }
+let create () = { on = false; auto = true; tbl = Hashtbl.create 64 }
 
 let enabled t = t.on
 
 let set_enabled t on = t.on <- on
 
+let auto_probes t = t.auto
+
+let set_auto_probes t auto = t.auto <- auto
+
 let reset t =
   t.on <- false;
+  t.auto <- true;
   Hashtbl.reset t.tbl
 
 let kind_label = function
@@ -126,7 +131,7 @@ let bucket_counts h =
       let bound = if i = n then infinity else h.h_bounds.(i) in
       (bound, h.h_counts.(i)))
 
-let probe ?(help = "") t name f = register t name help (Probe f)
+let probe ?(help = "") t name f = if t.auto then register t name help (Probe f)
 
 type row = { name : string; kind : string; value : float; help : string }
 

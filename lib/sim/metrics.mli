@@ -34,8 +34,18 @@ val enabled : t -> bool
 
 val set_enabled : t -> bool -> unit
 
-(** Drop every registered instrument and disable. Called by
-    {!Engine.reset} for per-scenario isolation in pooled runs. *)
+(** Whether {!probe} registrations are accepted (the default). Scale
+    runs with 10^5+ flows and links switch this off before building, so
+    components' per-flow/per-link construction-time probes — megabytes
+    of names and closures at that scale — are skipped wholesale; the
+    instruments' own counters are untouched. *)
+val auto_probes : t -> bool
+
+val set_auto_probes : t -> bool -> unit
+
+(** Drop every registered instrument, disable, and restore
+    {!auto_probes}. Called by {!Engine.reset} for per-scenario
+    isolation in pooled runs. *)
 val reset : t -> unit
 
 (** [counter t name] registers (or finds) a monotone integer counter. *)

@@ -1,0 +1,61 @@
+(* Random AS-like graphs: Barabási–Albert preferential attachment.
+   Growth starts from an (m+1)-clique; each subsequent node attaches to
+   [m] distinct existing nodes drawn proportionally to degree (the
+   repeated-endpoint-array trick: every node appears in [targets] once
+   per incident edge, so a uniform draw from it is degree-biased).
+   The resulting degree distribution is heavy-tailed, every node is
+   reachable from every other, and the minimum degree is [m].
+
+   All randomness comes from the (seed, label) scenario stream, so the
+   same parameters regenerate the identical graph on any worker. *)
+
+let build ~seed ~label ~nodes ~m () =
+  if m < 1 then invalid_arg "Asgraph.build: m must be >= 1";
+  if nodes < m + 2 then invalid_arg "Asgraph.build: need at least m + 2 nodes";
+  let rng = Sim.Rng.scenario ~seed ~id:label in
+  let edges = ref [] in
+  (* Degree-weighted endpoint pool: 2 entries per edge. *)
+  let cap = ref (4 * m * nodes) in
+  let targets = ref (Array.make !cap 0) in
+  let filled = ref 0 in
+  let push v =
+    if !filled = !cap then begin
+      cap := 2 * !cap;
+      let grown = Array.make !cap 0 in
+      Array.blit !targets 0 grown 0 !filled;
+      targets := grown
+    end;
+    !targets.(!filled) <- v;
+    incr filled
+  in
+  let add_edge a b =
+    edges := (a, b) :: !edges;
+    push a;
+    push b
+  in
+  for a = 0 to m do
+    for b = a + 1 to m do
+      add_edge a b
+    done
+  done;
+  let chosen = Array.make m (-1) in
+  for v = m + 1 to nodes - 1 do
+    let picked = ref 0 in
+    while !picked < m do
+      let candidate = !targets.(Sim.Rng.int rng !filled) in
+      let duplicate = ref (candidate = v) in
+      for i = 0 to !picked - 1 do
+        if chosen.(i) = candidate then duplicate := true
+      done;
+      if not !duplicate then begin
+        chosen.(!picked) <- candidate;
+        incr picked
+      end
+    done;
+    (* Attach in draw order; the pool only grows after all m draws so
+       one node's attachments are sampled from the same distribution. *)
+    for i = 0 to m - 1 do
+      add_edge v chosen.(i)
+    done
+  done;
+  Graph.make ~kinds:(Array.make nodes Graph.Router) ~edges:!edges

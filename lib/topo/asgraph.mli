@@ -1,0 +1,13 @@
+(** Random AS-like graphs (Barabási–Albert preferential attachment).
+
+    [build ~seed ~label ~nodes ~m ()] grows a connected graph from an
+    (m+1)-clique; each new node attaches to [m] distinct existing nodes
+    drawn proportionally to degree, giving the heavy-tailed degree
+    distribution of inter-domain topologies. Every node terminates
+    traffic ({!Graph.Router}), so [n_hosts = nodes]. Randomness comes
+    only from the [(seed, label)] scenario stream
+    ({!Sim.Rng.scenario}): equal parameters regenerate the identical
+    graph, serial or pooled. *)
+
+val build : seed:int -> label:string -> nodes:int -> m:int -> unit -> Graph.t
+(** @raise Invalid_argument if [m < 1] or [nodes < m + 2]. *)

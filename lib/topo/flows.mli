@@ -1,0 +1,24 @@
+(** Deterministic flow populations over a generated graph.
+
+    [generate ~seed ~label ~graph ~n ()] samples [n] (src, dst, weight)
+    triples from the [(seed, label)] scenario stream: source and
+    destination are distinct uniform host indices, weights uniform
+    integers in [1, max_weight] (default 4). Equal parameters always
+    regenerate the identical population. Flow [i] maps to Net flow id
+    [i + 1] when instantiated. *)
+
+type t = {
+  src : int array;  (** host index per flow *)
+  dst : int array;  (** host index per flow, distinct from [src] *)
+  weight : float array;  (** rate weight per flow *)
+}
+
+val count : t -> int
+
+val generate :
+  seed:int -> label:string -> graph:Graph.t -> n:int -> ?max_weight:int -> unit -> t
+(** @raise Invalid_argument if [n < 1], [max_weight < 1], or the graph
+    has fewer than two hosts. *)
+
+(** Bit-exact equality — the regeneration-determinism witness. *)
+val equal : t -> t -> bool

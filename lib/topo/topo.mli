@@ -1,0 +1,16 @@
+(** Deterministic topology generation for the scale evaluation.
+
+    {!Graph} is the flat-array graph representation (directed links,
+    CSR adjacency, dense host indexing); {!Fattree} and {!Asgraph}
+    build k-ary fat-trees and preferential-attachment AS-like graphs;
+    {!Fib} computes shared shortest-path forwarding tables once per
+    topology; {!Flows} samples (src, dst, weight) populations from
+    [(seed, label)] substreams. Everything is a pure function of its
+    parameters: equal inputs regenerate byte-identical structures,
+    serial or pooled. *)
+
+module Graph = Graph
+module Fattree = Fattree
+module Asgraph = Asgraph
+module Fib = Fib
+module Flows = Flows

@@ -156,6 +156,60 @@ let random ~engine ~rng ?(bandwidth = default_bandwidth) ?(delay = default_delay
      their access links. *)
   { engine; topology; flows; core_links = Net.Topology.links topology }
 
+let of_topo ~engine ?(bandwidth = default_bandwidth) ?(delay = default_delay)
+    ?(queue_capacity = 40) ?core_qdisc ~graph ~fib ~flows:pop () =
+  let topology = Net.Topology.create engine in
+  let qdisc () = Net.Qdisc.droptail ~capacity:queue_capacity in
+  let core_qdisc = match core_qdisc with Some f -> f | None -> qdisc in
+  let n_hosts = Topo.Graph.n_hosts graph in
+  let nodes =
+    Array.init (Topo.Graph.n_nodes graph) (fun v ->
+        let kind =
+          match Topo.Graph.kind graph v with
+          | Topo.Graph.Host -> Net.Node.Edge
+          | Topo.Graph.Edge_switch | Topo.Graph.Agg_switch
+          | Topo.Graph.Core_switch | Topo.Graph.Router ->
+            Net.Node.Core
+        in
+        Net.Topology.add_node topology ~kind (Topo.Graph.label graph v))
+  in
+  (* Net link ids equal graph link ids (same creation order). Every
+     link gets [core_qdisc]: on a generated topology any link — access
+     links included — can be the bottleneck, and the DRR ablation must
+     shape wherever congestion lives. *)
+  let links =
+    Array.init (Topo.Graph.n_links graph) (fun l ->
+        Net.Topology.add_link topology
+          ~src:nodes.(Topo.Graph.link_src graph l)
+          ~dst:nodes.(Topo.Graph.link_dst graph l)
+          ~bandwidth ~delay ~qdisc:(core_qdisc ()))
+  in
+  let dispatch = Net.Topology.sink_dispatcher topology in
+  Array.iteri
+    (fun v node ->
+      let table =
+        Array.init n_hosts (fun h ->
+            let l = Topo.Fib.next_hop fib ~node:v ~host:h in
+            if l < 0 then None else Some links.(l))
+      in
+      let host = Topo.Graph.host_of_node graph v in
+      Net.Node.set_fib node ~host ~fib:table
+        ~host_sink:(if host >= 0 then Some dispatch else None))
+    nodes;
+  let flows =
+    List.init (Topo.Flows.count pop) (fun i ->
+        let path =
+          List.map
+            (fun v -> nodes.(v))
+            (Topo.Fib.route graph fib ~src_host:pop.Topo.Flows.src.(i)
+               ~dst_host:pop.Topo.Flows.dst.(i))
+        in
+        Net.Flow.make ~id:(i + 1) ~weight:pop.Topo.Flows.weight.(i) ~path)
+  in
+  (* Police every link, as in [random]: generated flows may bottleneck
+     anywhere, most often on their access links. *)
+  { engine; topology; flows; core_links = Array.to_list links }
+
 let single_bottleneck ~engine ?(bandwidth = default_bandwidth) ?(delay = default_delay)
     ?(queue_capacity = 40) ?core_qdisc ~weights n =
   if n <= 0 then invalid_arg "Network.single_bottleneck: need at least one flow";

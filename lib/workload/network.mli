@@ -85,6 +85,31 @@ val random :
   unit ->
   t
 
+(** [of_topo ~engine ~graph ~fib ~flows ()] instantiates a generated
+    {!Topo.Graph} as a Net topology: one Net node per graph node
+    (hosts as edge routers, switches and routers as cores), one
+    unidirectional Net link per directed graph link — link ids equal
+    graph link ids — and a {!Net.Node.set_fib} destination-indexed
+    forwarding table per node derived from [fib]. Each population
+    entry [i] becomes Net flow [i + 1] routed by {!Topo.Fib.route}.
+    Every link (access links included) uses [core_qdisc] and is
+    returned in [core_links], so schemes police wherever the
+    bottleneck lives. This is the scale path: packets forward through
+    flat per-node arrays and one topology-wide sink table, with no
+    per-flow route state on any node.
+    @raise Failure if a sampled flow's host pair is unreachable. *)
+val of_topo :
+  engine:Sim.Engine.t ->
+  ?bandwidth:float ->
+  ?delay:float ->
+  ?queue_capacity:int ->
+  ?core_qdisc:(unit -> Net.Qdisc.t) ->
+  graph:Topo.Graph.t ->
+  fib:Topo.Fib.t ->
+  flows:Topo.Flows.t ->
+  unit ->
+  t
+
 (** [single_bottleneck ~engine ~weights n] builds [n] flows sharing one
     core link C1-C2 (each with its own edges) — the minimal fairness
     scenario used by tests and the quickstart example. *)

@@ -12,7 +12,8 @@
     shaped aggregates; {!Tcp_direct} raw TCP over each core discipline;
     {!Multi_cloud} inter-domain chaining;
     {!Scenario_file} a small text DSL; {!Csv} series export;
-    {!Pool} the parallel deterministic scenario executor. *)
+    {!Pool} the parallel deterministic scenario executor;
+    {!Scale} the streaming harness over generated {!Topo} graphs. *)
 
 module Pool = Pool
 module Network = Network
@@ -30,3 +31,4 @@ module Csv = Csv
 module Arrivals = Arrivals
 module Adversary = Adversary
 module Churn = Churn
+module Scale = Scale

@@ -454,6 +454,122 @@ let test_churn_no_feedback_after_retirement () =
        !feedbacks)
     true (!feedbacks > 100)
 
+(* ---- Scale oracles: the same dynamic claims on a generated fat-tree ----
+
+   The epoch discipline and retirement guarantees must survive the
+   scale refactor (flat flow tables, FIB-plane forwarding, per-path
+   delay registration), so they are re-proved on a fat-tree k=8 with
+   3000 flows and 25% early churn — hundreds of policed links instead
+   of fig3's three. Control-plane kinds only: the whole point of the
+   trace diet is that a 10^3-flow run fits a bounded ring while its
+   per-packet volume would not. *)
+
+let scale_capacity = 1 lsl 20
+
+(* 10^4 flows oversubscribe every access link (78 flows per 500 pkt/s
+   uplink) — fewer flows never congest within 8 s and the feedback
+   oracles would hold vacuously. *)
+let scale =
+  lazy
+    (let engine = Sim.Engine.create () in
+     let result =
+       Workload.Scale.run ~engine ~seed:42 ~label:"oracle/scale"
+         ~graph:(Workload.Scale.Fattree 8) ~n_flows:10_000
+         ~scheme:Workload.Scale.Corelite ~duration:8. ~end_fraction:0.25
+         ~trace:
+           (Sim.Trace.spec ~capacity:scale_capacity
+              ~kinds:Sim.Trace.control_kinds ())
+         ()
+     in
+     let tr = Sim.Engine.trace engine in
+     Alcotest.(check int)
+       "ring did not wrap (dropped_events = 0)" 0 (Sim.Trace.dropped_events tr);
+     (result, Array.init (Sim.Trace.length tr) (Sim.Trace.get tr)))
+
+let test_scale_epoch_cadence () =
+  let result, events = Lazy.force scale in
+  (* One pass over the trace, folding per-link epoch streams: count,
+     and every consecutive gap exactly one core epoch. *)
+  let per_link : (int, int * float) Hashtbl.t = Hashtbl.create 1024 in
+  Array.iter
+    (fun (e : Sim.Trace.event) ->
+      match e.Sim.Trace.kind with
+      | Sim.Trace.Epoch ->
+        let link = e.Sim.Trace.a and t = e.Sim.Trace.time in
+        (match Hashtbl.find_opt per_link link with
+        | None -> ()
+        | Some (_, last) ->
+          if Float.abs (t -. last -. core_epoch) > 1e-6 then
+            Alcotest.failf
+              "link %d: epoch gap %.9f at t=%.3f (expected %.3f)" link
+              (t -. last) last core_epoch);
+        let n = match Hashtbl.find_opt per_link link with
+          | None -> 0
+          | Some (n, _) -> n
+        in
+        Hashtbl.replace per_link link (n + 1, t)
+      | _ -> ())
+    events;
+  Alcotest.(check int)
+    "every policed link computes budgets" result.Workload.Scale.n_links
+    (Hashtbl.length per_link);
+  Hashtbl.iter
+    (fun link (n, _) ->
+      (* 8 s at one computation per 100 ms: the boundary tick may land
+         either side of the horizon. *)
+      if n < 79 || n > 81 then
+        Alcotest.failf "link %d: %d epoch computations over 8 s" link n)
+    per_link
+
+let test_scale_no_feedback_after_retirement () =
+  let result, events = Lazy.force scale in
+  let retired = Hashtbl.create 1024 in
+  let feedbacks = ref 0 in
+  Array.iter
+    (fun (e : Sim.Trace.event) ->
+      match e.Sim.Trace.kind with
+      | Sim.Trace.Flow_end | Sim.Trace.Flow_expire ->
+        Hashtbl.replace retired e.Sim.Trace.a e.Sim.Trace.time
+      | Sim.Trace.Feedback_recv -> (
+        incr feedbacks;
+        match Hashtbl.find_opt retired e.Sim.Trace.a with
+        | Some t_retired ->
+          Alcotest.failf
+            "feedback attributed to flow %d at t=%.3f after its retirement \
+             at t=%.3f"
+            e.Sim.Trace.a e.Sim.Trace.time t_retired
+        | None -> ())
+      | _ -> ())
+    events;
+  Alcotest.(check int)
+    "the early-churn cohort retired" 2500 result.Workload.Scale.ended_early;
+  Alcotest.(check bool)
+    (Printf.sprintf "the run actually exercised feedback (%d receipts)"
+       !feedbacks)
+    true
+    (!feedbacks > 100)
+
+let test_scale_trace_diet () =
+  let result, events = Lazy.force scale in
+  Array.iter
+    (fun (e : Sim.Trace.event) ->
+      match e.Sim.Trace.kind with
+      | Sim.Trace.Enqueue | Sim.Trace.Dequeue | Sim.Trace.Marker_attach
+      | Sim.Trace.Marker_seen ->
+        Alcotest.failf "per-packet kind recorded at t=%.3f under control_kinds"
+          e.Sim.Trace.time
+      | _ -> ())
+    events;
+  (* The diet's raison d'etre: the control-plane record stays inside a
+     bounded ring while the event volume it elides — at least one
+     engine event per packet hop — is several times larger. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "control trace (%d) << engine events (%d)"
+       (Array.length events) result.Workload.Scale.events)
+    true
+    (Array.length events * 4 < result.Workload.Scale.events
+    && Array.length events <= scale_capacity)
+
 let () =
   Alcotest.run "oracle"
     [
@@ -470,6 +586,16 @@ let () =
         [
           Alcotest.test_case "edges conform to their advertised rate" `Slow
             test_shaping_conformance;
+        ] );
+      ( "scale-trace",
+        [
+          Alcotest.test_case
+            "one budget computation per epoch per core link (fat-tree k=8)"
+            `Slow test_scale_epoch_cadence;
+          Alcotest.test_case "no feedback toward retired flows" `Slow
+            test_scale_no_feedback_after_retirement;
+          Alcotest.test_case "control_kinds trace diet stays bounded" `Slow
+            test_scale_trace_diet;
         ] );
       ( "determinism",
         [

@@ -1,0 +1,17 @@
+(* Golden generator: the per-flow CSV of a fixed small scale scenario
+   (fat-tree k=4, 64 flows, 5 s, Corelite). dune diffs the output
+   against test/golden/scale_fattree_k4.csv on every runtest — any
+   behavioral drift in the generated-topology pipeline (graph, FIB,
+   flow sampling, FIB-plane forwarding, streaming aggregation) shows
+   up as a one-line diff with per-flow context. *)
+
+let () =
+  let engine = Sim.Engine.create () in
+  let r =
+    Workload.Scale.run ~engine ~seed:42 ~label:"golden/fattree-k4"
+      ~graph:(Workload.Scale.Fattree 4) ~n_flows:64
+      ~scheme:Workload.Scale.Corelite ~duration:5. ~csv:true ()
+  in
+  match r.Workload.Scale.csv with
+  | Some csv -> print_string csv
+  | None -> failwith "scale_csv: csv missing"

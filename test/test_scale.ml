@@ -1,0 +1,181 @@
+(* Scale regression suite: end-to-end fairness on a generated fat-tree
+   at 10^4 flows, serial-vs-pooled byte equality of the streaming
+   harness, Sim.Invariant ledger balance across the scale lifecycle,
+   and edge cases of the flat-array flow table that replaced the
+   per-flow Hashtbls (id reuse after expiry, growth past capacity,
+   engine reset isolation). *)
+
+let quick_run ~engine ~label ?(n_flows = 200) ?(duration = 4.) ?end_fraction () =
+  Workload.Scale.run ~engine ~seed:42 ~label ~graph:(Workload.Scale.Fattree 4)
+    ~n_flows ~scheme:Workload.Scale.Corelite ~duration ?end_fraction ~csv:true ()
+
+(* ---- fairness at scale: fat-tree k=8, 10^4 flows ---- *)
+
+(* The ISSUE gate: a quick k=8 run whose measured rates track the
+   weighted max-min water-filling reference at Jain >= 0.9. 12 s of
+   simulated time is enough for the gentle scale adaptation steps to
+   settle near shares of a few pkt/s. *)
+let test_fattree_k8_fairness () =
+  let engine = Sim.Engine.create () in
+  let r =
+    Workload.Scale.run ~engine ~seed:42 ~label:"scale/k8-fairness"
+      ~graph:(Workload.Scale.Fattree 8) ~n_flows:10_000
+      ~scheme:Workload.Scale.Corelite ~duration:12. ~reference:true ()
+  in
+  Alcotest.(check int) "population instantiated" 10_000 r.Workload.Scale.n_flows;
+  Alcotest.(check int) "all flows alive until the drain" 10_000 r.live_at_end;
+  Alcotest.(check bool)
+    (Printf.sprintf "substantial traffic (delivered %d)" r.delivered)
+    true (r.delivered > 100_000);
+  (match r.jain_vs_reference with
+  | None -> Alcotest.fail "reference requested but not computed"
+  | Some jain ->
+    if jain < 0.9 then
+      Alcotest.failf "Jain vs water-filling %.4f < 0.9 (weighted %.4f)" jain
+        r.jain_weighted);
+  (* An oversubscribed fat-tree must actually congest: a drop-free run
+     means the reference comparison validated nothing. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "bottlenecks engaged (drops %d)" r.drops)
+    true (r.drops > 0)
+
+(* ---- serial = pooled ---- *)
+
+let test_serial_equals_pooled () =
+  let scenarios =
+    List.map
+      (fun tag ->
+        {
+          Workload.Pool.label = "scale/" ^ tag;
+          scenario =
+            (fun ~engine ~rng:_ ->
+              let r = quick_run ~engine ~label:("scale/" ^ tag) () in
+              match r.Workload.Scale.csv with
+              | Some csv -> csv
+              | None -> Alcotest.fail "csv requested but not produced");
+        })
+      [ "a"; "b"; "c" ]
+  in
+  let serial = Workload.Pool.run_scenarios ~domains:1 ~seed:42 scenarios in
+  let pooled = Workload.Pool.run_scenarios ~domains:3 ~seed:42 scenarios in
+  List.iteri
+    (fun i (s, p) ->
+      Alcotest.(check string)
+        (Printf.sprintf "scenario %d exports byte-identical CSV" i)
+        s p)
+    (List.combine serial pooled)
+
+(* ---- Sim.Invariant flow ledger ---- *)
+
+let test_ledger_balances () =
+  let created0 = Sim.Invariant.flows_created () in
+  let retired0 = Sim.Invariant.flows_retired () in
+  let expired0 = Sim.Invariant.flows_expired () in
+  let engine = Sim.Engine.create () in
+  let r = quick_run ~engine ~label:"scale/ledger" ~n_flows:300 ~end_fraction:0.2 () in
+  Alcotest.(check int) "60 flows retired early" 60 r.Workload.Scale.ended_early;
+  Alcotest.(check int) "240 flows live at the end" 240 r.live_at_end;
+  Alcotest.(check int)
+    "every flow was declared to the ledger" 300
+    (Sim.Invariant.flows_created () - created0);
+  Alcotest.(check int)
+    "every flow was retired (early enders + the drain)" 300
+    (Sim.Invariant.flows_retired () - retired0);
+  Alcotest.(check int)
+    "no flow expired" 0
+    (Sim.Invariant.flows_expired () - expired0)
+
+(* ---- flat flow table edge cases ---- *)
+
+let test_flowtable_growth () =
+  let t : int Net.Flowtable.t = Net.Flowtable.create ~capacity:4 () in
+  for id = 1 to 200 do
+    Net.Flowtable.add t id (id * 10)
+  done;
+  Alcotest.(check int) "live" 200 (Net.Flowtable.live t);
+  Alcotest.(check bool) "capacity grew past 200" true (Net.Flowtable.capacity t > 200);
+  Alcotest.(check (option int)) "dense lookup" (Some 1370) (Net.Flowtable.find t 137);
+  Alcotest.(check (option int)) "absent id" None (Net.Flowtable.find t 500);
+  (* Ascending-id iteration is the replay-determinism contract. *)
+  let seen = ref [] in
+  Net.Flowtable.iter t (fun id _ -> seen := id :: !seen);
+  Alcotest.(check (list int)) "iteration ascending" (List.init 200 (fun i -> i + 1))
+    (List.rev !seen);
+  Net.Flowtable.remove t 137;
+  Net.Flowtable.remove t 137;
+  Alcotest.(check int) "remove is idempotent" 199 (Net.Flowtable.live t);
+  Alcotest.check_raises "duplicate add rejected"
+    (Invalid_argument "Flowtable.add: duplicate flow 1") (fun () ->
+      Net.Flowtable.add t 1 0);
+  Net.Flowtable.clear t;
+  Alcotest.(check int) "clear empties" 0 (Net.Flowtable.live t)
+
+(* A retired slot must be reusable: churn recycles flow ids, and the
+   dense table must treat expiry exactly like the Hashtbls did. *)
+let test_flow_id_reuse_after_expiry () =
+  let engine = Sim.Engine.create () in
+  let network =
+    Workload.Network.single_bottleneck ~engine ~weights:(fun _ -> 1.) 1
+  in
+  let rng = Sim.Rng.scenario ~seed:1 ~id:"scale/reuse" in
+  let d =
+    Corelite.Deployment.build ~params:Corelite.Params.default ~rng
+      ~topology:network.Workload.Network.topology ~flows:[]
+      ~core_links:network.Workload.Network.core_links ()
+  in
+  let flow = Workload.Network.flow network 1 in
+  ignore (Corelite.Deployment.add_flow d flow);
+  Sim.Engine.run_until engine 1.0;
+  Corelite.Deployment.stop_flow d 1;
+  Sim.Engine.run_until engine 3.0;
+  Alcotest.(check int) "idle flow expired" 1
+    (Corelite.Deployment.expire_idle d ~timeout:1.0);
+  Alcotest.(check bool) "slot vacated" false (Corelite.Deployment.has_flow d 1);
+  ignore (Corelite.Deployment.add_flow d flow);
+  Alcotest.(check bool) "same id re-added" true (Corelite.Deployment.has_flow d 1);
+  Alcotest.(check int) "one live flow" 1 (Corelite.Deployment.live_flows d);
+  Sim.Engine.run_until engine 4.0;
+  Alcotest.(check bool) "reincarnated flow sends"
+    true
+    (Corelite.Edge.sent (Corelite.Deployment.agent d 1) > 0)
+
+let test_engine_reset_clears_scale_state () =
+  let engine = Sim.Engine.create () in
+  let metrics = Sim.Engine.metrics engine in
+  let r1 = quick_run ~engine ~label:"scale/reset" ~n_flows:50 ~duration:2. () in
+  Alcotest.(check bool) "auto probes restored after the run" true
+    (Sim.Metrics.auto_probes metrics);
+  Sim.Engine.reset engine;
+  Alcotest.(check int) "event counter cleared" 0 (Sim.Engine.executed engine);
+  Alcotest.(check (float 1e-9)) "clock rewound" 0. (Sim.Engine.now engine);
+  Alcotest.(check bool) "auto probes restored by reset" true
+    (Sim.Metrics.auto_probes metrics);
+  (* A reset engine must replay the identical scenario byte-for-byte. *)
+  let r2 = quick_run ~engine ~label:"scale/reset" ~n_flows:50 ~duration:2. () in
+  Alcotest.(check (option string)) "replay after reset is byte-identical"
+    r1.Workload.Scale.csv r2.Workload.Scale.csv
+
+let () =
+  Alcotest.run "scale"
+    [
+      ( "fairness",
+        [
+          Alcotest.test_case "fat-tree k=8, 10^4 flows, Jain >= 0.9 vs reference"
+            `Slow test_fattree_k8_fairness;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "serial = pooled (CSV byte equality)" `Quick
+            test_serial_equals_pooled;
+          Alcotest.test_case "engine reset isolates runs" `Quick
+            test_engine_reset_clears_scale_state;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "flow ledger balances" `Quick test_ledger_balances;
+          Alcotest.test_case "flow id reuse after expire_idle" `Quick
+            test_flow_id_reuse_after_expiry;
+        ] );
+      ( "flowtable",
+        [ Alcotest.test_case "growth past capacity" `Quick test_flowtable_growth ] );
+    ]

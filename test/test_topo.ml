@@ -1,0 +1,255 @@
+(* Structural property tests for the generated-topology layer
+   (lib/topo): fat-tree invariants for any even arity, AS-graph
+   connectivity and degree shape, FIB soundness (incident next hops,
+   loop-free progress), and byte-identical regeneration from equal
+   (seed, label) parameters — the witness that lets every scale run
+   rebuild its topology instead of serializing it. *)
+
+module G = Topo.Graph
+
+(* ---- helpers ---- *)
+
+let graph_equal a b =
+  G.n_nodes a = G.n_nodes b
+  && G.n_links a = G.n_links b
+  && G.n_hosts a = G.n_hosts b
+  && List.for_all
+       (fun v -> G.kind a v = G.kind b v && G.host_of_node a v = G.host_of_node b v)
+       (List.init (G.n_nodes a) Fun.id)
+  && List.for_all
+       (fun l -> G.link_src a l = G.link_src b l && G.link_dst a l = G.link_dst b l)
+       (List.init (G.n_links a) Fun.id)
+
+let count_kind g k =
+  let n = ref 0 in
+  for v = 0 to G.n_nodes g - 1 do
+    if G.kind g v = k then incr n
+  done;
+  !n
+
+(* Fat-tree wiring invariants for arity [k]: node-count formulas, one
+   access link per host, switch radix exactly [k], connectivity. *)
+let check_fattree_structure k =
+  let g = Topo.Fattree.build k in
+  let hosts = k * k * k / 4 in
+  Alcotest.(check int) "hosts = k^3/4" hosts (G.n_hosts g);
+  Alcotest.(check int)
+    "switches = 5k^2/4"
+    (5 * k * k / 4)
+    (G.n_nodes g - hosts);
+  Alcotest.(check int)
+    "directed links = 2 * 3k^3/4"
+    (2 * Topo.Fattree.n_edges k)
+    (G.n_links g);
+  Alcotest.(check int) "edge switches = k^2/2" (k * k / 2) (count_kind g G.Edge_switch);
+  Alcotest.(check int) "agg switches = k^2/2" (k * k / 2) (count_kind g G.Agg_switch);
+  Alcotest.(check int) "core switches = k^2/4" (k * k / 4) (count_kind g G.Core_switch);
+  for v = 0 to G.n_nodes g - 1 do
+    let d = G.out_degree g v in
+    let expect = match G.kind g v with G.Host -> 1 | _ -> k in
+    if d <> expect then
+      Alcotest.failf "node %s: out-degree %d, expected %d (k-ary wiring)"
+        (G.label g v) d expect
+  done;
+  Alcotest.(check int) "connected" (G.n_nodes g) (G.reachable g 0)
+
+(* FIB soundness over any graph: every next hop leaves the node it is
+   installed at, and following it strictly decreases the hop count —
+   which rules out loops without walking paths. *)
+let check_fib_sound g =
+  let fib = Topo.Fib.compute g in
+  for v = 0 to G.n_nodes g - 1 do
+    for h = 0 to G.n_hosts g - 1 do
+      let l = Topo.Fib.next_hop fib ~node:v ~host:h in
+      if G.host g h = v then
+        Alcotest.(check int) "own host: deliver locally" (-1) l
+      else begin
+        if l < 0 then
+          Alcotest.failf "no next hop at %s toward host %d (connected graph)"
+            (G.label g v) h;
+        if G.link_src g l <> v then
+          Alcotest.failf "next hop at %s toward host %d uses link %d->%d"
+            (G.label g v) h (G.link_src g l) (G.link_dst g l);
+        let here = Topo.Fib.hops fib ~node:v ~host:h in
+        let there = Topo.Fib.hops fib ~node:(G.link_dst g l) ~host:h in
+        if there <> here - 1 then
+          Alcotest.failf
+            "next hop at %s toward host %d does not make progress (%d -> %d)"
+            (G.label g v) h here there
+      end
+    done
+  done;
+  fib
+
+(* ---- unit tests ---- *)
+
+let test_fattree_counts () =
+  List.iter check_fattree_structure [ 2; 4; 8 ]
+
+(* k=32 is the largest documented arity: 8192 hosts, 1280 switches,
+   49152 directed links. Structure only — its FIB (9472 x 8192) is
+   deliberately never computed in tests. *)
+let test_fattree_k32_structure () = check_fattree_structure 32
+
+let test_fattree_invalid () =
+  List.iter
+    (fun k ->
+      Alcotest.check_raises
+        (Printf.sprintf "k=%d rejected" k)
+        (Invalid_argument "Fattree.build: k must be even and >= 2")
+        (fun () -> ignore (Topo.Fattree.build k)))
+    [ 0; 3; -2 ]
+
+let test_fattree_paths_bounded () =
+  let g = Topo.Fattree.build 4 in
+  let fib = check_fib_sound g in
+  let n = G.n_hosts g in
+  for s = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      if s <> d then begin
+        let hops = Topo.Fib.hops fib ~node:(G.host g s) ~host:d in
+        if hops < 2 || hops > 6 then
+          Alcotest.failf "host %d -> %d: %d hops (fat-tree bound is 6)" s d hops;
+        let path = Topo.Fib.route g fib ~src_host:s ~dst_host:d in
+        Alcotest.(check int) "route length = hops + 1" (hops + 1) (List.length path);
+        Alcotest.(check int) "route starts at src" (G.host g s) (List.hd path);
+        Alcotest.(check int)
+          "route ends at dst" (G.host g d)
+          (List.nth path (List.length path - 1))
+      end
+    done
+  done
+
+let test_asgraph_shape () =
+  let g = Topo.Asgraph.build ~seed:7 ~label:"shape" ~nodes:200 ~m:2 () in
+  Alcotest.(check int) "every router is a host" 200 (G.n_hosts g);
+  Alcotest.(check int) "connected" 200 (G.reachable g 0);
+  let degrees = Array.init 200 (G.out_degree g) in
+  Array.iteri
+    (fun v d ->
+      if d < 2 then Alcotest.failf "node %d: degree %d < m = 2" v d)
+    degrees;
+  let max_degree = Array.fold_left Stdlib.max 0 degrees in
+  (* Preferential attachment grows hubs: the degree tail must reach far
+     beyond the attachment count m. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "hub exists (max degree %d >= 4m)" max_degree)
+    true (max_degree >= 8)
+
+let test_regeneration_identical () =
+  Alcotest.(check bool)
+    "fat-tree regenerates byte-identically" true
+    (graph_equal (Topo.Fattree.build 4) (Topo.Fattree.build 4));
+  let a = Topo.Asgraph.build ~seed:11 ~label:"regen" ~nodes:80 ~m:2 () in
+  let b = Topo.Asgraph.build ~seed:11 ~label:"regen" ~nodes:80 ~m:2 () in
+  Alcotest.(check bool) "AS graph regenerates byte-identically" true (graph_equal a b);
+  let c = Topo.Asgraph.build ~seed:11 ~label:"other" ~nodes:80 ~m:2 () in
+  Alcotest.(check bool) "different label, different graph" false (graph_equal a c);
+  let g = Topo.Fattree.build 4 in
+  let fa = Topo.Flows.generate ~seed:11 ~label:"regen" ~graph:g ~n:500 () in
+  let fb = Topo.Flows.generate ~seed:11 ~label:"regen" ~graph:g ~n:500 () in
+  Alcotest.(check bool) "flows regenerate byte-identically" true (Topo.Flows.equal fa fb);
+  let fc = Topo.Flows.generate ~seed:12 ~label:"regen" ~graph:g ~n:500 () in
+  Alcotest.(check bool) "different seed, different flows" false (Topo.Flows.equal fa fc)
+
+let test_flows_wellformed () =
+  let g = Topo.Fattree.build 4 in
+  let pop = Topo.Flows.generate ~seed:3 ~label:"wf" ~graph:g ~n:1000 ~max_weight:4 () in
+  Alcotest.(check int) "count" 1000 (Topo.Flows.count pop);
+  for i = 0 to 999 do
+    let src = pop.Topo.Flows.src.(i) and dst = pop.Topo.Flows.dst.(i) in
+    if src = dst then Alcotest.failf "flow %d: src = dst = %d" i src;
+    if src < 0 || src >= G.n_hosts g || dst < 0 || dst >= G.n_hosts g then
+      Alcotest.failf "flow %d: endpoint out of host range" i;
+    let w = pop.Topo.Flows.weight.(i) in
+    if w < 1. || w > 4. then Alcotest.failf "flow %d: weight %g outside [1, 4]" i w
+  done
+
+(* ---- QCheck properties ---- *)
+
+let prop_fattree_invariants =
+  QCheck.Test.make ~name:"fat-tree invariants hold for any even arity" ~count:6
+    QCheck.(map (fun half -> 2 * half) (1 -- 6))
+    (fun k ->
+      check_fattree_structure k;
+      true)
+
+let prop_fattree_fib =
+  QCheck.Test.make ~name:"fat-tree FIB sound, paths within 6 hops" ~count:3
+    QCheck.(map (fun half -> 2 * half) (1 -- 3))
+    (fun k ->
+      let g = Topo.Fattree.build k in
+      let fib = check_fib_sound g in
+      let n = G.n_hosts g in
+      for s = 0 to n - 1 do
+        for d = 0 to n - 1 do
+          if s <> d then begin
+            let hops = Topo.Fib.hops fib ~node:(G.host g s) ~host:d in
+            if hops > 6 then QCheck.Test.fail_reportf "%d -> %d: %d hops" s d hops
+          end
+        done
+      done;
+      true)
+
+let prop_asgraph_connected =
+  QCheck.Test.make ~name:"AS graph connected, min degree >= m, FIB sound"
+    ~count:15
+    QCheck.(triple (5 -- 60) (1 -- 3) small_nat)
+    (fun (nodes, m, seed) ->
+      QCheck.assume (nodes >= m + 2);
+      let g = Topo.Asgraph.build ~seed ~label:"prop" ~nodes ~m () in
+      if G.reachable g 0 <> nodes then
+        QCheck.Test.fail_reportf "disconnected: %d/%d reachable"
+          (G.reachable g 0) nodes;
+      for v = 0 to nodes - 1 do
+        if G.out_degree g v < m then
+          QCheck.Test.fail_reportf "node %d: degree %d < m = %d" v
+            (G.out_degree g v) m
+      done;
+      ignore (check_fib_sound g);
+      true)
+
+let prop_regeneration =
+  QCheck.Test.make ~name:"equal (seed, label) regenerate identical structures"
+    ~count:20
+    QCheck.(pair small_nat (5 -- 40))
+    (fun (seed, nodes) ->
+      let build () = Topo.Asgraph.build ~seed ~label:"r" ~nodes ~m:2 () in
+      QCheck.assume (nodes >= 4);
+      let a = build () and b = build () in
+      graph_equal a b
+      && Topo.Flows.equal
+           (Topo.Flows.generate ~seed ~label:"f" ~graph:a ~n:50 ())
+           (Topo.Flows.generate ~seed ~label:"f" ~graph:b ~n:50 ()))
+
+let () =
+  Alcotest.run "topo"
+    [
+      ( "fattree",
+        [
+          Alcotest.test_case "counts and wiring, k in {2,4,8}" `Quick
+            test_fattree_counts;
+          Alcotest.test_case "k=32 structure (no FIB)" `Quick
+            test_fattree_k32_structure;
+          Alcotest.test_case "odd or non-positive arity rejected" `Quick
+            test_fattree_invalid;
+          Alcotest.test_case "k=4 all-pairs paths bounded by 6 hops" `Quick
+            test_fattree_paths_bounded;
+          QCheck_alcotest.to_alcotest prop_fattree_invariants;
+          QCheck_alcotest.to_alcotest prop_fattree_fib;
+        ] );
+      ( "asgraph",
+        [
+          Alcotest.test_case "shape: connected, degrees, hub tail" `Quick
+            test_asgraph_shape;
+          QCheck_alcotest.to_alcotest prop_asgraph_connected;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "regeneration is byte-identical" `Quick
+            test_regeneration_identical;
+          Alcotest.test_case "flow populations well-formed" `Quick
+            test_flows_wellformed;
+          QCheck_alcotest.to_alcotest prop_regeneration;
+        ] );
+    ]

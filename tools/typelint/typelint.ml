@@ -67,9 +67,11 @@ let path_components path = String.split_on_char '/' path
 let in_lib path = List.mem "lib" (path_components path)
 
 (* T3 scope: the simulation component libraries. lib/workload is the
-   scenario-root layer (it owns seeds by design) and is out of scope. *)
+   scenario-root layer (it owns seeds by design) and is out of scope.
+   lib/topo is in scope: generators must derive their streams with
+   [scenario] (pure in (seed, label)), never mint them with [create]. *)
 let rec rng_components = function
-  | "lib" :: ("sim" | "net" | "corelite" | "csfq" | "fairness") :: _ -> true
+  | "lib" :: ("sim" | "net" | "corelite" | "csfq" | "fairness" | "topo") :: _ -> true
   | _ :: rest -> rng_components rest
   | [] -> false
 
